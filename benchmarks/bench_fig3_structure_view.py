@@ -1,0 +1,37 @@
+"""fig3 — document structure components: the channel/event/arc view.
+
+Figure 3 shows channels as vertical lanes with event descriptors placed
+on them and synchronization arcs between; this bench regenerates that
+view from the solved news schedule and checks its structural claims:
+one lane per channel, events serialized within a lane, arcs drawn
+between lanes.
+"""
+
+from repro.pipeline.viewer import render_timeline
+
+
+def test_fig3_structure_view(benchmark, news_schedule):
+    text = benchmark(render_timeline, news_schedule)
+
+    lines = text.splitlines()
+    header = lines[0]
+    # One lane (column) per declared channel.
+    for channel in news_schedule.compiled.document.channels.names():
+        assert channel in header
+
+    # Within a lane, events are serialized — the rendering never shows
+    # two different events in one lane at one time slot (by
+    # construction of the view, but re-check via the schedule).
+    news_schedule.assert_channel_serialization()
+
+    # Events on different channels do run in parallel: at some instant,
+    # at least three lanes are simultaneously busy.
+    busiest = max(len(news_schedule.events_at(t))
+                  for t in news_schedule.change_points()[:-1])
+    assert busiest >= 3
+
+    print(f"\n[fig3] {len(lines) - 2} time slots x "
+          f"{len(news_schedule.compiled.per_channel)} channel lanes, "
+          f"busiest instant runs {busiest} events in parallel")
+    print("\n".join(lines[:12]))
+    print("  ...")

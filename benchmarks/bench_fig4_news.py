@@ -1,0 +1,62 @@
+"""fig4 — the Evening News as a document (4a) and as a CMIF template (4b).
+
+Regenerates both halves of figure 4: (a) the composite broadcast screen
+— five channels allocated onto the virtual display, with the video
+stream left, graphic top-right, label under it, caption strip along the
+bottom, and sound "coming from the side of the display"; (b) the
+document template — the five parallel tracks of one program block.
+"""
+
+from repro.pipeline.presentation import PresentationMapper
+from repro.pipeline.viewer import render_screen, render_tree
+
+
+def test_fig4a_composite_screen(benchmark, fragment_corpus,
+                                fragment_schedule):
+    document = fragment_corpus.document
+    mapper = PresentationMapper(speaker_count=2)
+
+    presentation = benchmark(mapper.map_document, document)
+
+    video = presentation.region_for("video").rect
+    graphic = presentation.region_for("graphic").rect
+    label = presentation.region_for("label").rect
+    caption = presentation.region_for("caption").rect
+
+    # The figure-4a layout: video fills the left, graphic sits top
+    # right, the label is below the graphic, the caption strip runs
+    # along the bottom, and the audio has a speaker.
+    assert video.x == 0 and video.y == 0
+    assert graphic.x >= video.width
+    assert label.y >= graphic.height
+    assert caption.y > label.y
+    assert caption.width == 1000
+    assert presentation.speaker_for("audio").speaker == 0
+
+    screen = render_screen(fragment_schedule, presentation,
+                           at_ms=15_000.0)
+    assert "V" in screen and "G" in screen and "C" in screen
+    assert "speaker 0" in screen
+
+    print("\n[fig4a] the composite screen at t=15s:")
+    print(screen)
+
+
+def test_fig4b_document_template(benchmark, fragment_corpus):
+    document = fragment_corpus.document
+
+    tree = benchmark(render_tree, document)
+
+    # The template: one par program block with the five tracks, each a
+    # sequence of event blocks.
+    story = document.root.child_named("story-paintings")
+    assert story.kind.value == "par"
+    track_names = [child.name for child in story.children]
+    assert track_names == ["video-track", "audio-track", "graphic-track",
+                           "caption-track", "label-track"]
+    for child in story.children:
+        assert child.kind.value == "seq"
+        assert len(child.children) >= 1
+
+    print("\n[fig4b] the CMIF template of the program block:")
+    print(tree)

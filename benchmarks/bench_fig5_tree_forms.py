@@ -1,0 +1,53 @@
+"""fig5 — the CMIF tree in conventional (a) and embedded (b) forms.
+
+Regenerates both renderings of the news document tree and checks their
+equivalence claim: the two forms display the same node population in
+the same document order, differing only in notation.
+"""
+
+import re
+
+from repro.core.tree import iter_preorder
+from repro.pipeline.viewer import render_embedded, render_tree
+
+
+def _names_in(text):
+    return re.findall(r"(?:seq|par|ext|imm)(?: ([A-Za-z0-9_.\-]+))?", text)
+
+
+def test_fig5a_conventional_form(benchmark, news_corpus):
+    document = news_corpus.document
+
+    text = benchmark(render_tree, document)
+
+    # Every node appears exactly once, in document order.
+    kinds_in_view = re.findall(r"\b(seq|par|ext|imm)\b", text)
+    nodes = list(iter_preorder(document.root))
+    assert len(kinds_in_view) == len(nodes)
+    assert kinds_in_view == [node.kind.value for node in nodes]
+
+    print(f"\n[fig5a] conventional form: {len(nodes)} nodes, "
+          f"{len(text.splitlines())} lines")
+
+
+def test_fig5b_embedded_form(benchmark, news_corpus):
+    document = news_corpus.document
+
+    text = benchmark(render_embedded, document)
+
+    # The embedded (nested box) form shows the same nodes in the same
+    # order as the conventional form.
+    conventional = render_tree(document)
+    assert (re.findall(r"\b(seq|par|ext|imm)\b", text)
+            == re.findall(r"\b(seq|par|ext|imm)\b", conventional))
+
+    # Nesting depth in the embedded view matches the tree's depth:
+    # indentation grows two spaces per level.
+    max_indent = max(len(line) - len(line.lstrip())
+                     for line in text.splitlines())
+    assert max_indent // 2 == document.stats().max_depth
+
+    print(f"\n[fig5b] embedded form: max nesting depth "
+          f"{max_indent // 2}, {len(text.splitlines())} lines")
+    print("\n".join(text.splitlines()[:10]))
+    print("  ...")

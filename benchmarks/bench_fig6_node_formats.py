@@ -1,0 +1,53 @@
+"""fig6 — CMIF node general formats, through the concrete syntax.
+
+Figure 6 gives the general format of the four node kinds (seqnode,
+parnode, immnode, extnode: attribute list + children / data / data
+descriptor pointer).  This bench serializes the news document — which
+contains all four — and measures the parse/write round-trip rate; the
+identity property is the transportability claim in miniature.
+"""
+
+from repro.core.nodes import NodeKind
+from repro.core.tree import iter_preorder
+from repro.format.parser import parse_document
+from repro.format.writer import write_document
+
+
+def test_fig6_write_rate(benchmark, news_corpus):
+    document = news_corpus.document
+
+    text = benchmark(write_document, document)
+
+    # The text form contains all four figure-6 node formats.
+    for kind in ("(seq", "(par", "(ext", "(imm"):
+        assert kind in text
+
+    kinds_present = {node.kind for node in iter_preorder(document.root)}
+    assert kinds_present == set(NodeKind)
+
+    print(f"\n[fig6] document serializes to {len(text)} characters "
+          f"({len(text.splitlines())} lines) containing all four node "
+          f"formats")
+
+
+def test_fig6_parse_rate(benchmark, news_corpus):
+    text = write_document(news_corpus.document)
+
+    document = benchmark(parse_document, text)
+
+    assert write_document(document) == text
+
+    stats = document.stats()
+    print(f"\n[fig6] parsed {stats.total_nodes} nodes "
+          f"({stats.ext_nodes} ext, {stats.imm_nodes} imm) with perfect "
+          f"round-trip")
+
+
+def test_fig6_round_trip_identity(benchmark, news_corpus):
+    text = write_document(news_corpus.document)
+
+    def round_trip():
+        return write_document(parse_document(text))
+
+    result = benchmark(round_trip)
+    assert result == text

@@ -1,0 +1,66 @@
+"""fig9 — the synchronization arc in tabular form.
+
+Regenerates figure 9's six-column table (type, source, offset,
+destination, min_delay, max_delay) for every arc of the news document —
+including the implied default arcs of section 5.3.1, which exist "even
+when the synchronization arc is omitted from the description" — and
+benchmarks table generation over the full constraint system.
+"""
+
+from repro.timing.constraints import arc_table
+
+
+def test_fig9_arc_table(benchmark, news_corpus):
+    compiled = news_corpus.document.compile()
+
+    rows = benchmark(arc_table, compiled)
+
+    explicit = [row for row in rows if row["origin"] == "explicit-arc"]
+    defaults = [row for row in rows if row["origin"] != "explicit-arc"]
+
+    # Every explicit arc of the corpus appears exactly once.
+    assert len(explicit) == news_corpus.document.stats().arc_count
+    # Default arcs dominate, as the paper intends ("the synchronization
+    # information is usually implied rather than explicit").
+    assert len(defaults) > len(explicit) * 5
+
+    # Every row carries the six figure-9 columns.
+    for row in rows:
+        for column in ("type", "source", "offset", "destination",
+                       "min_delay", "max_delay"):
+            assert row[column], (row, column)
+
+    # The type column only holds the four legal combinations.
+    legal_types = {"begin/must", "begin/may", "end/must", "end/may"}
+    assert {row["type"] for row in explicit} <= legal_types
+
+    print(f"\n[fig9] {len(explicit)} explicit arcs "
+          f"(+{len(defaults)} implied default constraints):")
+    header = ("type", "source", "offset", "destination", "min_delay",
+              "max_delay")
+    print("  " + " | ".join(h.ljust(12) for h in header))
+    for row in explicit:
+        print("  " + " | ".join(
+            str(row[column])[:28].ljust(12) for column in header))
+
+
+def test_fig9_defaults_follow_tree_shape(benchmark, fragment_corpus):
+    """The default-arc population is a function of the tree: seq chains,
+    par forks/joins, channel order (section 5.3.1)."""
+    compiled = fragment_corpus.document.compile()
+
+    rows = benchmark(arc_table, compiled)
+
+    by_origin = {}
+    for row in rows:
+        by_origin.setdefault(row["origin"], 0)
+        by_origin[row["origin"]] += 1
+
+    stats = fragment_corpus.document.stats()
+    # Each leaf contributes its duration equality (2 constraints).
+    assert by_origin["duration"] == 2 * stats.leaf_count
+    # Par forks/joins: 2 per child of each par node (here: 5 tracks).
+    assert by_origin["par-default"] == 2 * 5 + 1  # + non-negative span
+    assert by_origin["channel-order"] > 0
+
+    print(f"\n[fig9] constraint origins for the fragment: {by_origin}")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: author, validate, schedule and view a CMIF document.
+
+Builds a 30-second two-channel document (a video clip with captions),
+prints the human-readable CMIF text form, the solved timeline, and the
+figure-5 tree views.  Run it with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DocumentBuilder, MediaTime, schedule_document
+from repro.format import write_document
+from repro.pipeline import render_timeline, render_tree, render_summary
+
+
+def build_document():
+    """A minimal dynamic document: one video stream plus captions."""
+    builder = DocumentBuilder("quickstart")
+    builder.channel("video", "video")
+    builder.channel("caption", "text")
+    # A style keeps caption formatting in one place (paper figure 7).
+    builder.style("caption-style", channel="caption",
+                  **{"t-formatting": {"font": "helvetica", "size": 14}})
+
+    with builder.seq("film"):
+        with builder.par("scene-1"):
+            builder.imm("clip-1", channel="video", medium="video",
+                        data="<opening shot>",
+                        duration=MediaTime.seconds(8))
+            with builder.seq("captions-1", style=("caption-style",)):
+                builder.imm("c1", data="A quiet morning in Amsterdam.")
+                builder.imm("c2", data="Nothing ever happens here...")
+        with builder.par("scene-2"):
+            clip2 = builder.imm("clip-2", channel="video", medium="video",
+                                data="<chase scene>",
+                                duration=MediaTime.seconds(12))
+            cap = builder.imm("c3", style=("caption-style",),
+                              data="...until today.")
+    document = builder.build()
+
+    # An explicit synchronization arc (paper section 5.3.2): the last
+    # caption must appear within [0ms, 500ms] of the chase scene's start.
+    builder.arc(cap, source="../clip-2", destination=".",
+                min_delay=0.0, max_delay=MediaTime.ms(500))
+    return document
+
+
+def main() -> None:
+    document = build_document()
+
+    print("=" * 70)
+    print("The transportable text form (paper: 'human-readable'):")
+    print("=" * 70)
+    print(write_document(document))
+
+    schedule = schedule_document(document.compile())
+
+    print("=" * 70)
+    print("Document summary:")
+    print("=" * 70)
+    print(render_summary(document, schedule))
+    print()
+
+    print("=" * 70)
+    print("The document tree (figure 5a):")
+    print("=" * 70)
+    print(render_tree(document))
+    print()
+
+    print("=" * 70)
+    print("The solved timeline (figure 3): channels x time")
+    print("=" * 70)
+    print(render_timeline(schedule, slot_ms=2000.0))
+    print()
+
+    print("Scheduled events:")
+    for event in schedule.events:
+        print(f"  {event}")
+
+
+if __name__ == "__main__":
+    main()

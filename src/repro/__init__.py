@@ -1,0 +1,62 @@
+"""CMIF: the CWI Multimedia Interchange Format, reproduced in Python.
+
+A full reimplementation of "A Structure for Transportable, Dynamic
+Multimedia Documents" (Bulterman, van Rossum, van Liere — USENIX 1991):
+the CMIF document structure, its synchronization semantics, and the
+five-stage CWI/Multimedia Pipeline that surrounds it.
+
+Quick start::
+
+    from repro import DocumentBuilder, schedule_document
+
+    builder = DocumentBuilder("demo")
+    builder.channel("video", "video")
+    builder.channel("caption", "text")
+    with builder.par("scene"):
+        builder.imm("clip", channel="video", data="...", duration=4000)
+        builder.imm("text", channel="caption", data="Hello")
+    document = builder.build()
+    schedule = schedule_document(document.compile())
+
+Subpackages:
+
+* :mod:`repro.core` — the document model (trees, attributes, channels,
+  styles, descriptors, synchronization arcs);
+* :mod:`repro.timing` — constraint building, the scheduling solver, and
+  conflict diagnosis;
+* :mod:`repro.format` — the human-readable text form and JSON;
+* :mod:`repro.pipeline` — the five pipeline stages (capture, structure
+  mapping, presentation mapping, constraint filtering, viewing/playing);
+* :mod:`repro.media` — synthetic media substrate;
+* :mod:`repro.store` — the attribute-indexed data store (DDBMS);
+* :mod:`repro.transport` — environments, negotiation, packaging;
+* :mod:`repro.corpus` — the Evening News and synthetic corpora.
+"""
+
+from repro.core import (Anchor, ChannelDictionary, CmifDocument, CmifError,
+                        DataBlock, DataDescriptor, DocumentBuilder,
+                        EventDescriptor, MediaTime, Medium, NodeKind,
+                        SchedulingConflict, Strictness, StyleDictionary,
+                        SyncArc, TimeBase, Unit, validate_document)
+from repro.format import (document_from_json, document_to_json,
+                          parse_document, write_document)
+from repro.pipeline import (CaptureSession, ConstraintFilter, Player,
+                            PresentationMapper, StructureMapper,
+                            run_pipeline)
+from repro.store import DataStore
+from repro.timing import Schedule, schedule_document
+from repro.transport import (SystemEnvironment, negotiate, pack, unpack)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Anchor", "CaptureSession", "ChannelDictionary", "CmifDocument",
+    "CmifError", "ConstraintFilter", "DataBlock", "DataDescriptor",
+    "DataStore", "DocumentBuilder", "EventDescriptor", "MediaTime",
+    "Medium", "NodeKind", "Player", "PresentationMapper", "Schedule",
+    "SchedulingConflict", "Strictness", "StructureMapper", "StyleDictionary",
+    "SyncArc", "SystemEnvironment", "TimeBase", "Unit",
+    "document_from_json", "document_to_json", "negotiate", "pack",
+    "parse_document", "run_pipeline", "schedule_document", "unpack",
+    "validate_document", "write_document",
+]

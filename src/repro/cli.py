@@ -1,0 +1,267 @@
+"""Command-line interface for the CMIF toolset.
+
+The paper expects documents to be "created and viewed using appropriate
+user interface tools"; this CLI is the scriptable version of those
+tools, one subcommand per pipeline capability:
+
+* ``validate`` — run the consistency rules over a document file;
+* ``show`` — render the tree / embedded / summary views (figure 5);
+* ``schedule`` — solve and print the timeline (figure 3);
+* ``arcs`` — print the figure-9 arc table;
+* ``play`` — simulate playback on a named environment profile and
+  report arc audits;
+* ``negotiate`` — the can-this-system-play-this-document check;
+* ``pack`` / ``unpack`` — transport packaging;
+* ``news`` — emit the built-in Evening News corpus as CMIF text.
+
+Usage::
+
+    python -m repro.cli news -o news.cmif
+    python -m repro.cli validate news.cmif
+    python -m repro.cli schedule news.cmif
+    python -m repro.cli play news.cmif --environment personal-system
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.document import CmifDocument
+from repro.core.errors import CmifError
+from repro.core.validate import ERROR, validate_document
+from repro.format.parser import parse_document
+from repro.format.writer import write_document
+from repro.pipeline.player import Player
+from repro.pipeline.presentation import PresentationMapper
+from repro.pipeline.viewer import (render_arc_table, render_embedded,
+                                   render_summary, render_timeline,
+                                   render_tree)
+from repro.timing import schedule_document
+from repro.transport.environments import (PERSONAL_SYSTEM, SILENT_TERMINAL,
+                                          SystemEnvironment, WORKSTATION)
+from repro.transport.negotiate import negotiate
+
+ENVIRONMENTS: dict[str, SystemEnvironment] = {
+    environment.name: environment
+    for environment in (WORKSTATION, PERSONAL_SYSTEM, SILENT_TERMINAL)
+}
+
+
+def load_document(path: str) -> CmifDocument:
+    """Read a CMIF file: either the text form or a transport package.
+
+    Packages carry data descriptors, so a document loaded from one is
+    schedulable; the bare text form is transportable but needs a store
+    (or explicit durations) before it can be scheduled — exactly the
+    paper's split.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    if text.lstrip().startswith("{"):
+        from repro.transport.package import unpack
+        return unpack(text).document
+    return parse_document(text)
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    document = load_document(args.document)
+    issues = validate_document(document)
+    for issue in issues:
+        print(issue)
+    errors = [issue for issue in issues if issue.severity == ERROR]
+    if errors:
+        print(f"INVALID: {len(errors)} error(s), "
+              f"{len(issues) - len(errors)} warning(s)")
+        return 1
+    print(f"VALID: 0 errors, {len(issues)} warning(s)")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    document = load_document(args.document)
+    if args.form == "tree":
+        print(render_tree(document))
+    elif args.form == "embedded":
+        print(render_embedded(document))
+    else:
+        print(render_summary(document))
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    document = load_document(args.document)
+    schedule = schedule_document(document.compile())
+    print(render_summary(document, schedule))
+    print()
+    print(render_timeline(schedule, slot_ms=args.slot_ms))
+    if schedule.dropped_constraints:
+        print(f"\nrelaxed {len(schedule.dropped_constraints)} may "
+              f"constraint(s) to make the document schedulable:")
+        for constraint in schedule.dropped_constraints:
+            print(f"  - {constraint.describe()}")
+    return 0
+
+
+def cmd_arcs(args: argparse.Namespace) -> int:
+    document = load_document(args.document)
+    schedule = schedule_document(document.compile())
+    print(render_arc_table(schedule, explicit_only=not args.all))
+    return 0
+
+
+def cmd_play(args: argparse.Namespace) -> int:
+    document = load_document(args.document)
+    environment = ENVIRONMENTS[args.environment]
+    schedule = schedule_document(document.compile())
+    player = Player(environment, seed=args.seed,
+                    prefetch_lead_ms=args.prefetch)
+    report = player.play(schedule, rate=args.rate,
+                         seek_to_ms=args.seek * 1000.0)
+    print(report.summary())
+    if args.verbose:
+        for audit in report.audits:
+            print(f"  {audit}")
+    return 1 if report.must_violations else 0
+
+
+def cmd_negotiate(args: argparse.Namespace) -> int:
+    document = load_document(args.document)
+    environment = ENVIRONMENTS[args.environment]
+    result = negotiate(document, environment)
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    from repro.transport.package import pack
+    document = load_document(args.document)
+    package = pack(document, embed_data=False, strict=False)
+    Path(args.output).write_text(package, encoding="utf-8")
+    print(f"packed {args.document} -> {args.output} "
+          f"({len(package)} bytes)")
+    return 0
+
+
+def cmd_unpack(args: argparse.Namespace) -> int:
+    from repro.transport.package import unpack
+    package = Path(args.package).read_text(encoding="utf-8")
+    result = unpack(package)
+    text = write_document(result.document)
+    Path(args.output).write_text(text, encoding="utf-8")
+    print(f"unpacked {args.package} -> {args.output} "
+          f"({result.embedded_blocks} embedded blocks, "
+          f"{result.verified_checksums} checksums verified)")
+    return 0
+
+
+def cmd_news(args: argparse.Namespace) -> int:
+    from repro.corpus import make_news_document
+    corpus = make_news_document(stories=args.stories, seed=args.seed)
+    if args.package:
+        from repro.transport.package import pack
+        text = pack(corpus.document, corpus.store,
+                    embed_data=args.embed_data)
+    else:
+        text = write_document(corpus.document)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output} ({len(text)} bytes, "
+              f"{corpus.story_count} stories)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="cmif", description="CMIF document tools (USENIX 1991 "
+        "reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate",
+                                   help="check consistency rules")
+    validate.add_argument("document")
+    validate.set_defaults(handler=cmd_validate)
+
+    show = commands.add_parser("show", help="render document views")
+    show.add_argument("document")
+    show.add_argument("--form", choices=("tree", "embedded", "summary"),
+                      default="tree")
+    show.set_defaults(handler=cmd_show)
+
+    schedule = commands.add_parser("schedule",
+                                   help="solve and print the timeline")
+    schedule.add_argument("document")
+    schedule.add_argument("--slot-ms", type=float, default=2000.0)
+    schedule.set_defaults(handler=cmd_schedule)
+
+    arcs = commands.add_parser("arcs", help="print the fig-9 arc table")
+    arcs.add_argument("document")
+    arcs.add_argument("--all", action="store_true",
+                      help="include implied default constraints")
+    arcs.set_defaults(handler=cmd_arcs)
+
+    play = commands.add_parser("play", help="simulate playback")
+    play.add_argument("document")
+    play.add_argument("--environment", choices=sorted(ENVIRONMENTS),
+                      default="workstation")
+    play.add_argument("--rate", type=float, default=1.0)
+    play.add_argument("--seek", type=float, default=0.0,
+                      help="fast-forward to this many seconds")
+    play.add_argument("--prefetch", type=float, default=0.0,
+                      help="prefetch lead in ms")
+    play.add_argument("--seed", type=int, default=0)
+    play.add_argument("--verbose", action="store_true")
+    play.set_defaults(handler=cmd_play)
+
+    negotiate_cmd = commands.add_parser(
+        "negotiate", help="can this environment play this document?")
+    negotiate_cmd.add_argument("document")
+    negotiate_cmd.add_argument("--environment",
+                               choices=sorted(ENVIRONMENTS),
+                               default="workstation")
+    negotiate_cmd.set_defaults(handler=cmd_negotiate)
+
+    pack_cmd = commands.add_parser("pack", help="package for transport")
+    pack_cmd.add_argument("document")
+    pack_cmd.add_argument("-o", "--output", required=True)
+    pack_cmd.set_defaults(handler=cmd_pack)
+
+    unpack_cmd = commands.add_parser("unpack", help="open a package")
+    unpack_cmd.add_argument("package")
+    unpack_cmd.add_argument("-o", "--output", required=True)
+    unpack_cmd.set_defaults(handler=cmd_unpack)
+
+    news = commands.add_parser("news",
+                               help="emit the Evening News corpus")
+    news.add_argument("--stories", type=int, default=2)
+    news.add_argument("--seed", type=int, default=1991)
+    news.add_argument("--package", action="store_true",
+                      help="emit a transport package (with descriptors) "
+                           "instead of bare text")
+    news.add_argument("--embed-data", action="store_true",
+                      help="with --package: embed payload blocks too")
+    news.add_argument("-o", "--output")
+    news.set_defaults(handler=cmd_news)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CmifError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

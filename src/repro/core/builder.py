@@ -1,0 +1,204 @@
+"""A fluent authoring API for CMIF documents.
+
+This is the programmatic face of the pipeline's *Document Structure
+Mapping Tool* (paper section 2): "this tool allows the user to express
+relationships among individual media blocks.  The relationships are
+primarily temporal and spatial."  The builder produces a validated
+:class:`~repro.core.document.CmifDocument`.
+
+Example::
+
+    builder = DocumentBuilder("news")
+    builder.channel("audio", "audio")
+    builder.channel("video", "video")
+    with builder.par("story"):
+        builder.ext("report", channel="video", file="crime.vid")
+        builder.ext("voice", channel="audio", file="crime.aud")
+    document = builder.build()
+
+Containers nest through context managers so the Python block structure
+mirrors the document tree, which keeps hand-written documents readable —
+the paper's stated goal for the concrete format ("we have created CMIF
+documents to be human-readable").
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Iterator
+
+from repro.core.channels import ChannelDictionary, Medium
+from repro.core.descriptors import DataDescriptor
+from repro.core.document import CmifDocument
+from repro.core.errors import StructureError
+from repro.core.nodes import (ContainerNode, ExtNode, ImmNode, Node,
+                              ParNode, SeqNode)
+from repro.core.styles import StyleDictionary
+from repro.core.syncarc import (Anchor, MediaTime, Strictness, SyncArc)
+from repro.core.timebase import TimeBase
+
+
+class DocumentBuilder:
+    """Builds a CMIF document incrementally.
+
+    ``root_kind`` selects the root container: the news example's root is
+    sequential (stories follow each other); a slide-show-with-soundtrack
+    document would use a parallel root.
+    """
+
+    def __init__(self, name: str = "document", *, root_kind: str = "seq",
+                 timebase: TimeBase | None = None) -> None:
+        root: ContainerNode
+        if root_kind == "seq":
+            root = SeqNode(name)
+        elif root_kind == "par":
+            root = ParNode(name)
+        else:
+            raise StructureError(
+                f"root_kind must be 'seq' or 'par', got {root_kind!r}")
+        self._document = CmifDocument(
+            root=root,
+            channels=ChannelDictionary(),
+            styles=StyleDictionary(),
+            timebase=timebase,
+        )
+        self._stack: list[ContainerNode] = [root]
+
+    # -- dictionaries ------------------------------------------------------
+
+    def channel(self, name: str, medium: Medium | str,
+                **extra: Any) -> "DocumentBuilder":
+        """Declare a synchronization channel on the root."""
+        self._document.channels.declare_named(name, medium, **extra)
+        return self
+
+    def style(self, name: str, **attributes: Any) -> "DocumentBuilder":
+        """Define a style in the root's style dictionary.
+
+        Pass ``style=("parent", ...)`` inside ``attributes`` to inherit
+        from other styles.
+        """
+        self._document.styles.define(name, attributes)
+        return self
+
+    def descriptor(self, file_id: str,
+                   descriptor: DataDescriptor) -> "DocumentBuilder":
+        """Register the data descriptor a ``file`` attribute refers to."""
+        self._document.register_descriptor(file_id, descriptor)
+        return self
+
+    # -- tree construction ---------------------------------------------------
+
+    @property
+    def current(self) -> ContainerNode:
+        """The container new nodes are appended to."""
+        return self._stack[-1]
+
+    @contextlib.contextmanager
+    def seq(self, name: str | None = None,
+            **attributes: Any) -> Iterator[SeqNode]:
+        """Open a sequential child container for the ``with`` body."""
+        node = SeqNode(name, attributes)
+        self.current.add(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    @contextlib.contextmanager
+    def par(self, name: str | None = None,
+            **attributes: Any) -> Iterator[ParNode]:
+        """Open a parallel child container for the ``with`` body."""
+        node = ParNode(name, attributes)
+        self.current.add(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    def ext(self, name: str | None = None, *, file: str | None = None,
+            channel: str | None = None, duration: MediaTime | float | None = None,
+            **attributes: Any) -> ExtNode:
+        """Append an external (data-descriptor-referencing) leaf."""
+        merged = dict(attributes)
+        if file is not None:
+            merged["file"] = file
+        if channel is not None:
+            merged["channel"] = channel
+        if duration is not None:
+            merged["duration"] = duration
+        node = ExtNode(name, merged)
+        self.current.add(node)
+        return node
+
+    def imm(self, name: str | None = None, *, data: Any = "",
+            channel: str | None = None, medium: str | None = None,
+            duration: MediaTime | float | None = None,
+            **attributes: Any) -> ImmNode:
+        """Append an immediate (inline-data) leaf."""
+        merged = dict(attributes)
+        if channel is not None:
+            merged["channel"] = channel
+        if medium is not None:
+            merged["medium"] = medium
+        if duration is not None:
+            merged["duration"] = duration
+        node = ImmNode(name, merged, data)
+        self.current.add(node)
+        return node
+
+    # -- synchronization -------------------------------------------------------
+
+    def arc(self, owner: Node, *, source: str, destination: str,
+            src_anchor: str | Anchor = Anchor.BEGIN,
+            dst_anchor: str | Anchor = Anchor.BEGIN,
+            strictness: str | Strictness = Strictness.MUST,
+            offset: MediaTime | float = 0.0,
+            min_delay: MediaTime | float = 0.0,
+            max_delay: MediaTime | float | None = 0.0) -> SyncArc:
+        """Attach an explicit synchronization arc to ``owner``.
+
+        Bare numbers are interpreted as milliseconds.  ``max_delay=None``
+        means an infinite maximum tolerable delay.
+        """
+        arc = SyncArc(
+            source=source,
+            destination=destination,
+            src_anchor=(src_anchor if isinstance(src_anchor, Anchor)
+                        else Anchor.from_name(src_anchor)),
+            dst_anchor=(dst_anchor if isinstance(dst_anchor, Anchor)
+                        else Anchor.from_name(dst_anchor)),
+            strictness=(strictness if isinstance(strictness, Strictness)
+                        else Strictness.from_name(strictness)),
+            offset=_as_time(offset),
+            min_delay=_as_time(min_delay),
+            max_delay=None if max_delay is None else _as_time(max_delay),
+        )
+        owner.add_arc(arc)
+        return arc
+
+    # -- completion ----------------------------------------------------------------
+
+    def build(self, validate: bool = True) -> CmifDocument:
+        """Finish and return the document.
+
+        With ``validate`` (the default) a strict validation pass runs and
+        raises on structural errors, so a successfully built document is
+        known-consistent.
+        """
+        if len(self._stack) != 1:
+            raise StructureError(
+                "build() called inside an open seq()/par() context")
+        if validate:
+            from repro.core.validate import validate_document
+            validate_document(self._document, strict=True)
+        return self._document
+
+
+def _as_time(value: MediaTime | float) -> MediaTime:
+    """Accept MediaTime or a bare number of milliseconds."""
+    if isinstance(value, MediaTime):
+        return value
+    return MediaTime.ms(float(value))

@@ -1,0 +1,292 @@
+"""The CMIF document object (paper sections 3 and 5).
+
+A :class:`CmifDocument` binds together the document tree, the root-node
+dictionaries (channels, styles, time base) and the data-descriptor
+resolver.  The root node "has a special function in the tree because it
+is a place where various directory attributes are found and because it
+provides an implied timing reference point for all other nodes in the
+document".
+
+Compilation (:meth:`CmifDocument.compile`) materializes one
+:class:`~repro.core.descriptors.EventDescriptor` per leaf node — the
+mapping of event descriptors onto synchronization channels that section
+3.1 calls "a CMIF description".  Compilation touches only descriptors,
+never payload bytes, preserving the paper's attribute-only manipulation
+property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.core.channels import Channel, ChannelDictionary, Medium
+from repro.core.descriptors import (DataDescriptor, EventDescriptor, Slice)
+from repro.core.errors import (ChannelError, StructureError, ValueError_)
+from repro.core.nodes import (ContainerNode, ImmNode, Node, NodeKind,
+                              SeqNode)
+from repro.core.paths import node_path
+from repro.core.styles import StyleDictionary
+from repro.core.timebase import MediaTime, TimeBase, Unit
+from repro.core.tree import iter_leaves, iter_preorder, tree_stats
+
+#: Type of the optional external descriptor resolver: file-id -> descriptor.
+DescriptorResolver = Callable[[str], DataDescriptor | None]
+
+
+class CmifDocument:
+    """A complete CMIF document: tree + dictionaries + descriptor view."""
+
+    def __init__(self, root: ContainerNode | None = None,
+                 channels: ChannelDictionary | None = None,
+                 styles: StyleDictionary | None = None,
+                 timebase: TimeBase | None = None) -> None:
+        self.root: ContainerNode = root if root is not None else SeqNode("document")
+        if not isinstance(self.root, ContainerNode):
+            raise StructureError("the document root must be a sequential or "
+                                 "parallel node")
+        self.channels = channels if channels is not None else ChannelDictionary()
+        self.styles = styles if styles is not None else StyleDictionary()
+        self.timebase = timebase if timebase is not None else TimeBase()
+        #: Local data-descriptor directory, keyed by the ``file`` attribute
+        #: value.  An external resolver (the DDBMS of figure 2) may be
+        #: attached with :meth:`attach_resolver` and is consulted second.
+        self.descriptors: dict[str, DataDescriptor] = {}
+        self._resolver: DescriptorResolver | None = None
+
+    # -- dictionaries ----------------------------------------------------
+
+    def attach_resolver(self, resolver: DescriptorResolver) -> None:
+        """Attach an external descriptor resolver (the optional DDBMS)."""
+        self._resolver = resolver
+
+    def register_descriptor(self, file_id: str,
+                            descriptor: DataDescriptor) -> None:
+        """Register a data descriptor under its ``file`` reference."""
+        self.descriptors[file_id] = descriptor
+
+    def resolve_descriptor(self, file_id: str) -> DataDescriptor | None:
+        """Find the data descriptor for a ``file`` reference, if any."""
+        descriptor = self.descriptors.get(file_id)
+        if descriptor is None and self._resolver is not None:
+            descriptor = self._resolver(file_id)
+        return descriptor
+
+    # -- root attribute round-trip ----------------------------------------
+
+    def sync_root_attributes(self) -> None:
+        """Materialize the dictionaries into root-node attributes.
+
+        The concrete syntax stores channels, styles and the time base as
+        root attributes (figure 7's "should currently only occur on the
+        root node"); the writer calls this before serializing.
+        """
+        if len(self.channels):
+            self.root.attributes.set("channel-dictionary",
+                                     self.channels.to_group())
+        if len(self.styles):
+            self.root.attributes.set("style-dictionary",
+                                     self.styles.to_group())
+        self.root.attributes.set("timebase", {
+            "frame-rate": self.timebase.frame_rate,
+            "sample-rate": self.timebase.sample_rate,
+            "byte-rate": self.timebase.byte_rate,
+            "chars-per-second": self.timebase.chars_per_second,
+        })
+
+    @classmethod
+    def from_root(cls, root: ContainerNode) -> "CmifDocument":
+        """Reconstruct a document from a parsed tree's root attributes."""
+        channels = ChannelDictionary()
+        channel_group = root.attributes.get("channel-dictionary")
+        if channel_group:
+            channels = ChannelDictionary.from_group(channel_group)
+        styles = StyleDictionary()
+        style_group = root.attributes.get("style-dictionary")
+        if style_group:
+            styles = StyleDictionary.from_group(style_group)
+        timebase = TimeBase()
+        timebase_group = root.attributes.get("timebase")
+        if timebase_group:
+            timebase = TimeBase(
+                frame_rate=float(timebase_group.get("frame-rate", 25.0)),
+                sample_rate=float(timebase_group.get("sample-rate", 44100.0)),
+                byte_rate=float(timebase_group.get("byte-rate", 176400.0)),
+                chars_per_second=float(
+                    timebase_group.get("chars-per-second", 15.0)),
+            )
+        return cls(root, channels, styles, timebase)
+
+    # -- views -------------------------------------------------------------
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes in document (preorder) order."""
+        return iter_preorder(self.root)
+
+    def leaves(self) -> Iterator[Node]:
+        """All leaf nodes (events) in document order."""
+        return iter_leaves(self.root)
+
+    def stats(self):
+        """Tree statistics (see :func:`repro.core.tree.tree_stats`)."""
+        return tree_stats(self.root)
+
+    # -- event materialization ----------------------------------------------
+
+    def channel_for(self, node: Node) -> Channel:
+        """The channel a node's data is directed to (inherited attribute)."""
+        channel_name = node.effective("channel", styles=self.styles_or_none())
+        if channel_name is None:
+            raise ChannelError(
+                f"node {node_path(node)} has no channel attribute (own or "
+                f"inherited); every event must be placed on a channel")
+        return self.channels.lookup(channel_name)
+
+    def styles_or_none(self) -> StyleDictionary | None:
+        """The style dictionary, or None when no styles are defined."""
+        return self.styles if len(self.styles) else None
+
+    def _leaf_medium(self, node: Node, channel: Channel) -> Medium:
+        """The medium of a leaf's data, defaulting to the channel medium."""
+        declared = node.effective("medium", styles=self.styles_or_none())
+        if declared is not None:
+            return Medium.from_name(declared)
+        if node.kind is NodeKind.IMM:
+            return Medium.TEXT
+        return channel.medium
+
+    def _leaf_slice(self, node: Node) -> Slice | None:
+        """The slice/clip restriction of an external node, if any."""
+        styles = self.styles_or_none()
+        for start_name, length_name in (("slice", "slice-length"),
+                                        ("clip", "clip-length")):
+            start = node.effective(start_name, styles=styles)
+            length = node.effective(length_name, styles=styles)
+            if start is not None or length is not None:
+                begin = start if isinstance(start, MediaTime) else (
+                    MediaTime.ms(float(start)) if start is not None
+                    else MediaTime.ms(0))
+                return Slice(begin, length)
+        return None
+
+    def _leaf_duration_ms(self, node: Node, medium: Medium,
+                          descriptor: DataDescriptor | None,
+                          slice_: Slice | None) -> float:
+        """Resolve a leaf's presentation duration in milliseconds.
+
+        Resolution order: explicit ``duration`` attribute; slice/clip
+        length against the descriptor's intrinsic duration; descriptor
+        intrinsic duration; for immediate text, a reading-speed estimate
+        (chars-per-second from the time base).  Anything else is an
+        error — the paper's example restriction that "the length of each
+        of the segments is known in advance" is a hard requirement for
+        scheduling.
+        """
+        styles = self.styles_or_none()
+        explicit = node.effective("duration", styles=styles)
+        if explicit is not None:
+            value = (explicit if isinstance(explicit, MediaTime)
+                     else MediaTime.ms(float(explicit)))
+            return self.timebase.to_ms(value)
+        intrinsic_ms = (descriptor.duration_ms(self.timebase)
+                        if descriptor is not None else None)
+        if slice_ is not None:
+            start_ms, end_ms = slice_.bounds_ms(self.timebase, intrinsic_ms)
+            return end_ms - start_ms
+        if intrinsic_ms is not None:
+            return intrinsic_ms
+        if isinstance(node, ImmNode) and medium is Medium.TEXT:
+            text = str(node.data)
+            reading_time = MediaTime(max(1, len(text)), Unit.CHARACTERS)
+            return self.timebase.to_ms(reading_time)
+        raise ValueError_(
+            f"cannot determine the duration of {node_path(node)}: no "
+            f"duration attribute, no slice/clip length, and no intrinsic "
+            f"descriptor duration")
+
+    def compile(self) -> "CompiledDocument":
+        """Materialize the event descriptors for every leaf node.
+
+        Returns a :class:`CompiledDocument` with events in document
+        order, per-channel event sequences (the linear-time-order rule of
+        section 3.1), and the node -> event mapping the constraint
+        builder uses.
+        """
+        events: list[EventDescriptor] = []
+        by_node: dict[int, EventDescriptor] = {}
+        per_channel: dict[str, list[EventDescriptor]] = {
+            name: [] for name in self.channels.names()}
+        for leaf in self.leaves():
+            channel = self.channel_for(leaf)
+            medium = self._leaf_medium(leaf, channel)
+            descriptor: DataDescriptor | None = None
+            slice_: Slice | None = None
+            if leaf.kind is NodeKind.EXT:
+                file_id = leaf.effective("file", styles=self.styles_or_none())
+                if file_id is None:
+                    raise StructureError(
+                        f"external node {node_path(leaf)} has no file "
+                        f"attribute (own or inherited)")
+                descriptor = self.resolve_descriptor(file_id)
+                slice_ = self._leaf_slice(leaf)
+            duration_ms = self._leaf_duration_ms(
+                leaf, medium, descriptor, slice_)
+            path = node_path(leaf)
+            event = EventDescriptor(
+                event_id=path,
+                node_path=path,
+                channel=channel.name,
+                medium=medium,
+                duration_ms=duration_ms,
+                descriptor=descriptor,
+                slice_=slice_,
+                attributes=leaf.level_attributes(self.styles_or_none()),
+            )
+            events.append(event)
+            by_node[id(leaf)] = event
+            per_channel.setdefault(channel.name, []).append(event)
+        return CompiledDocument(document=self, events=events,
+                                by_node=by_node, per_channel=per_channel)
+
+
+@dataclass
+class CompiledDocument:
+    """The result of :meth:`CmifDocument.compile`.
+
+    ``per_channel`` preserves document order within each channel, which
+    the constraint builder turns into the channel serialization
+    constraints ("events that are placed on a single channel are
+    synchronized in linear time order").
+    """
+
+    document: CmifDocument
+    events: list[EventDescriptor]
+    by_node: dict[int, EventDescriptor]
+    per_channel: dict[str, list[EventDescriptor]] = field(
+        default_factory=dict)
+
+    def event_for(self, node: Node) -> EventDescriptor:
+        """The event materialized from ``node`` (a leaf)."""
+        event = self.by_node.get(id(node))
+        if event is None:
+            raise StructureError(
+                f"{node.label()} did not produce an event (is it a leaf "
+                f"of this document?)")
+        return event
+
+    @property
+    def total_duration_lower_bound_ms(self) -> float:
+        """Sum of event durations — a trivial lower bound used in views."""
+        return sum(event.duration_ms for event in self.events)
+
+    def sharing_ratio(self) -> float:
+        """Events per distinct data descriptor (figure 2's reuse claim).
+
+        Immediate events have no descriptor and are excluded; an empty
+        document reports 0.0.
+        """
+        described = [e for e in self.events if e.descriptor is not None]
+        if not described:
+            return 0.0
+        distinct = {e.descriptor.descriptor_id for e in described}
+        return len(described) / len(distinct)

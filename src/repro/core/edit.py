@@ -1,0 +1,189 @@
+"""Document editing operations (paper sections 2 and 4).
+
+The viewing tools "provide a means for a reader to 'view' or (possibly)
+edit a document", and the paper is explicit that changing presentation
+order is an *edit*, not a navigation: "re-ordering requires re-editing
+the document".  This module provides the re-editing operations an
+authoring tool needs, each preserving the tree's invariants (sibling
+name uniqueness, parenthood) and each returning enough information to
+undo:
+
+* :func:`reorder` — move a child to a new position among its siblings;
+* :func:`splice` — move a subtree under a different parent;
+* :func:`duplicate` — copy a subtree (fresh nodes, same attributes),
+  the authoring counterpart of descriptor sharing;
+* :func:`retime` — change a leaf's duration;
+* :func:`remove` — delete a subtree, reporting the arcs that dangle.
+
+Arc hygiene: operations that move or delete nodes re-resolve every arc
+in the document afterwards and report the ones whose endpoints broke —
+the editor's version of the validator's ``arc-endpoint`` rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.document import CmifDocument
+from repro.core.errors import PathError, StructureError
+from repro.core.nodes import (ContainerNode, ExtNode, ImmNode, Node,
+                              ParNode, SeqNode)
+from repro.core.paths import node_path, resolve_path
+from repro.core.timebase import MediaTime
+from repro.core.tree import iter_preorder
+
+
+@dataclass
+class EditReport:
+    """The outcome of one editing operation."""
+
+    operation: str
+    subject: str
+    dangling_arcs: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no synchronization arcs were broken."""
+        return not self.dangling_arcs
+
+
+def _dangling_arcs(document: CmifDocument) -> list[str]:
+    """Every arc in the document whose endpoints no longer resolve."""
+    broken: list[str] = []
+    for node in iter_preorder(document.root):
+        for arc in node.arcs:
+            try:
+                resolve_path(node, arc.source)
+                resolve_path(node, arc.destination)
+            except PathError:
+                broken.append(f"{node_path(node)}: {arc.describe()}")
+    return broken
+
+
+def reorder(document: CmifDocument, parent_path: str, child_name: str,
+            new_index: int) -> EditReport:
+    """Move the named child to ``new_index`` among its siblings.
+
+    This is the operation the paper requires for changing event order
+    ("re-ordering requires re-editing the document").
+    """
+    parent = resolve_path(document.root, parent_path)
+    if not isinstance(parent, ContainerNode):
+        raise StructureError(f"{parent.label()} is a leaf; it has no "
+                             f"children to reorder")
+    child = parent.child_named(child_name)
+    count = len(parent.children)
+    if not 0 <= new_index < count:
+        raise StructureError(
+            f"new index {new_index} out of range for {count} children")
+    parent.detach(child)
+    parent.insert(new_index, child)
+    return EditReport(operation="reorder",
+                      subject=node_path(child),
+                      dangling_arcs=_dangling_arcs(document))
+
+
+def splice(document: CmifDocument, node_path_: str, new_parent_path: str,
+           index: int | None = None) -> EditReport:
+    """Move a subtree under a different parent.
+
+    Refuses to splice a node into its own subtree (which would detach it
+    from the document) and preserves sibling-name uniqueness through the
+    normal add() checks.
+    """
+    node = resolve_path(document.root, node_path_)
+    new_parent = resolve_path(document.root, new_parent_path)
+    if node.parent is None:
+        raise StructureError("the root cannot be spliced")
+    if not isinstance(new_parent, ContainerNode):
+        raise StructureError(f"{new_parent.label()} is a leaf; it cannot "
+                             f"receive children")
+    current: Node | None = new_parent
+    while current is not None:
+        if current is node:
+            raise StructureError(
+                f"cannot splice {node.label()} into its own subtree")
+        current = current.parent
+    node.parent.detach(node)
+    new_parent.add(node)
+    if index is not None:
+        new_parent.detach(node)
+        new_parent.insert(index, node)
+    return EditReport(operation="splice",
+                      subject=node_path(node),
+                      dangling_arcs=_dangling_arcs(document))
+
+
+def _clone_node(node: Node) -> Node:
+    """A deep structural copy with fresh node objects."""
+    clone: Node
+    if isinstance(node, SeqNode):
+        clone = SeqNode()
+    elif isinstance(node, ParNode):
+        clone = ParNode()
+    elif isinstance(node, ExtNode):
+        clone = ExtNode()
+    else:
+        assert isinstance(node, ImmNode)
+        clone = ImmNode(data=node.data)
+    clone.attributes = node.attributes.copy()
+    if isinstance(node, ContainerNode):
+        assert isinstance(clone, ContainerNode)
+        for child in node.children:
+            clone.add(_clone_node(child))
+    return clone
+
+
+def duplicate(document: CmifDocument, node_path_: str,
+              new_name: str) -> EditReport:
+    """Copy a subtree next to the original under ``new_name``.
+
+    The copy shares the original's ``file`` references — two events over
+    one data descriptor, the figure-2 sharing pattern — but is a fully
+    independent structure.
+    """
+    node = resolve_path(document.root, node_path_)
+    parent = node.parent
+    if parent is None:
+        raise StructureError("the root cannot be duplicated")
+    clone = _clone_node(node)
+    clone.attributes.set("name", new_name)
+    index = parent.index_of(node)
+    parent.add(clone)
+    parent.detach(clone)
+    parent.insert(index + 1, clone)
+    return EditReport(operation="duplicate",
+                      subject=node_path(clone),
+                      dangling_arcs=_dangling_arcs(document))
+
+
+def retime(document: CmifDocument, node_path_: str,
+           duration: MediaTime | float) -> EditReport:
+    """Change a leaf's presentation duration."""
+    node = resolve_path(document.root, node_path_)
+    if not node.is_leaf:
+        raise StructureError(
+            f"{node.label()} is a container; its span is derived from "
+            f"its children, not set directly")
+    value = (duration if isinstance(duration, MediaTime)
+             else MediaTime.ms(float(duration)))
+    node.attributes.set("duration", value)
+    return EditReport(operation="retime", subject=node_path(node))
+
+
+def remove(document: CmifDocument, node_path_: str) -> EditReport:
+    """Delete a subtree; dangling arcs are reported, not repaired.
+
+    "CMIF plays a role in signalling problems, allowing other
+    mechanisms to provide solutions" — the editor surfaces the broken
+    arcs so an authoring tool (or the user) decides what to do.
+    """
+    node = resolve_path(document.root, node_path_)
+    parent = node.parent
+    if parent is None:
+        raise StructureError("the root cannot be removed")
+    subject = node_path(node)
+    parent.detach(node)
+    return EditReport(operation="remove", subject=subject,
+                      dangling_arcs=_dangling_arcs(document))

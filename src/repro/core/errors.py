@@ -1,0 +1,124 @@
+"""Exception hierarchy for the CMIF reproduction.
+
+Every error raised by the library derives from :class:`CmifError` so that
+callers can catch library failures with a single handler.  The hierarchy
+mirrors the paper's separation of concerns: structural errors concern the
+document tree, attribute errors concern the attribute model (paper section
+5.2), synchronization errors concern arcs and scheduling (section 5.3), and
+pipeline errors concern the CWI/Multimedia Pipeline tools (section 2).
+"""
+
+from __future__ import annotations
+
+
+class CmifError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StructureError(CmifError):
+    """The document tree violates a structural rule.
+
+    Examples: two direct children of one parent sharing a name, a leaf node
+    given children, or a container node used where a leaf is required.
+    """
+
+
+class AttributeError_(CmifError):
+    """An attribute list violates the attribute model.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`AttributeError`, which Python raises for missing object
+    attributes and which has an entirely different meaning.
+    """
+
+
+class ValueError_(AttributeError_):
+    """An attribute value does not fit its declared value type."""
+
+
+class StyleError(AttributeError_):
+    """A style reference is undefined or style definitions form a cycle."""
+
+
+class ChannelError(AttributeError_):
+    """A channel reference is undefined or a channel is misdeclared."""
+
+
+class PathError(StructureError):
+    """A relative node path (paper section 5.3.2) cannot be resolved."""
+
+
+class SyncArcError(CmifError):
+    """A synchronization arc is malformed.
+
+    Raised for positive minimum delays or negative maximum delays (which the
+    paper declares meaningless), for min > max windows, and for arcs whose
+    endpoints cannot be resolved.
+    """
+
+
+class SchedulingConflict(CmifError):
+    """The synchronization constraints admit no schedule.
+
+    Corresponds to conflict class (1) of paper section 5.3.3: an
+    unreasonable synchronization constraint was defined, directly or
+    indirectly, by the author.  The ``cycle`` attribute, when present,
+    carries the list of constraints forming the infeasible cycle.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None) -> None:
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle else []
+
+
+class DeviceConstraintError(CmifError):
+    """A target environment cannot honour a document requirement.
+
+    Corresponds to conflict class (2) of paper section 5.3.3: device
+    characteristics limit the ability of a particular environment to support
+    a given document.
+    """
+
+
+class NavigationError(CmifError):
+    """A navigation operation left relative arcs without a live source.
+
+    Corresponds to conflict class (3) of paper section 5.3.3: fast-forward
+    or fast-reverse reached a region whose incoming relative arcs reference
+    events that were never executed.
+    """
+
+
+class FormatError(CmifError):
+    """The concrete CMIF text (or JSON) form cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class StoreError(CmifError):
+    """A data-store (DDBMS) operation failed."""
+
+
+class QueryError(StoreError):
+    """An attribute query over the data store is malformed."""
+
+
+class TransportError(CmifError):
+    """Packaging or unpacking a transportable document failed."""
+
+
+class MediaError(CmifError):
+    """A media payload operation (slice, clip, crop) is invalid."""
+
+
+class PlaybackError(CmifError):
+    """The discrete-event player entered an invalid state."""

@@ -1,0 +1,13 @@
+"""Document corpora: the paper's running examples plus generators."""
+
+from repro.corpus.news import (NewsCorpus, add_generic_story,
+                               add_paintings_story, declare_news_channels,
+                               make_news_document, make_paintings_fragment)
+from repro.corpus.generate import (make_deep_document, make_flat_document,
+                                   make_random_document)
+
+__all__ = [
+    "NewsCorpus", "add_generic_story", "add_paintings_story",
+    "declare_news_channels", "make_deep_document", "make_flat_document",
+    "make_news_document", "make_paintings_fragment", "make_random_document",
+]

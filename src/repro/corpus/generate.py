@@ -1,0 +1,146 @@
+"""Synthetic document generators for scaling and property tests.
+
+The paper's documents are small; measuring how the parser, scheduler and
+filters scale (the perf bench) needs documents from tens to thousands of
+events with controlled shape:
+
+* :func:`make_flat_document` — one par of many single-event seqs: wide,
+  shallow, channel-heavy (stress channel serialization);
+* :func:`make_deep_document` — alternating seq/par nesting: stresses the
+  tree walks and default-arc chains;
+* :func:`make_random_document` — seeded random trees with random explicit
+  arcs between sibling leaves: the hypothesis-style workload for solver
+  robustness.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.builder import DocumentBuilder
+from repro.core.document import CmifDocument
+from repro.core.timebase import MediaTime
+
+_MEDIA = ("video", "audio", "image", "text")
+
+
+def _declare_channels(builder: DocumentBuilder, channels: int) -> list[str]:
+    names: list[str] = []
+    for index in range(channels):
+        medium = _MEDIA[index % len(_MEDIA)]
+        name = f"ch{index}-{medium}"
+        builder.channel(name, medium)
+        names.append(name)
+    return names
+
+
+def make_flat_document(events: int, *, channels: int = 5,
+                       event_ms: float = 1000.0) -> CmifDocument:
+    """A wide document: ``events`` leaves spread over ``channels``."""
+    builder = DocumentBuilder("flat", root_kind="seq")
+    names = _declare_channels(builder, channels)
+    with builder.par("body"):
+        for index in range(events):
+            builder.imm(f"event-{index}", channel=names[index % channels],
+                        data=f"event {index}",
+                        duration=MediaTime.ms(event_ms))
+    return builder.build(validate=False)
+
+
+def make_deep_document(depth: int, *, fanout: int = 2,
+                       event_ms: float = 500.0) -> CmifDocument:
+    """A deep document: alternating seq/par nesting ``depth`` levels."""
+    builder = DocumentBuilder("deep", root_kind="seq")
+    names = _declare_channels(builder, 2)
+
+    def descend(level: int, index: int) -> None:
+        if level >= depth:
+            builder.imm(None, channel=names[level % 2],
+                        data=f"leaf at {level}",
+                        duration=MediaTime.ms(event_ms))
+            return
+        opener = builder.seq if level % 2 == 0 else builder.par
+        with opener(f"level-{level}-{index}"):
+            for child in range(fanout if level < 3 else 1):
+                descend(level + 1, child)
+
+    descend(0, 0)
+    return builder.build(validate=False)
+
+
+def make_random_document(seed: int, *, events: int = 40,
+                         channels: int = 4,
+                         arc_fraction: float = 0.2) -> CmifDocument:
+    """A seeded random document with explicit arcs between siblings.
+
+    Arcs always point from an earlier sibling to a later one.  Unbounded
+    arcs are must-strict (a forward lower bound is always satisfiable);
+    bounded arcs are may-strict, because an upper bound can contradict
+    the durations of intervening siblings and the solver must then be
+    free to relax it.  Every generated document therefore schedules.
+    """
+    rng = random.Random(seed)
+    builder = DocumentBuilder(f"random-{seed}", root_kind="seq")
+    names = _declare_channels(builder, channels)
+    remaining = events
+
+    def grow(level: int) -> None:
+        nonlocal remaining
+        while remaining > 0:
+            choice = rng.random()
+            if choice < 0.5 or level >= 4:
+                remaining -= 1
+                builder.imm(None, channel=rng.choice(names),
+                            data=f"event {remaining}",
+                            duration=MediaTime.ms(
+                                rng.uniform(100.0, 3000.0)))
+            elif choice < 0.75:
+                with builder.seq(None):
+                    grow(level + 1)
+            else:
+                with builder.par(None):
+                    grow(level + 1)
+            if rng.random() < 0.3 and level > 0:
+                return
+
+    grow(0)
+    document = builder.build(validate=False)
+    _add_random_arcs(document, rng, arc_fraction)
+    return document
+
+
+def _add_random_arcs(document: CmifDocument, rng: random.Random,
+                     arc_fraction: float) -> None:
+    """Attach forward arcs between random sibling pairs."""
+    from repro.core.nodes import ContainerNode
+    from repro.core.syncarc import SyncArc
+    from repro.core.tree import iter_preorder
+
+    for node in iter_preorder(document.root):
+        if not isinstance(node, ContainerNode) or len(node.children) < 2:
+            continue
+        if rng.random() > arc_fraction:
+            continue
+        children = node.children
+        first = rng.randrange(0, len(children) - 1)
+        second = rng.randrange(first + 1, len(children))
+        source = children[first]
+        destination = children[second]
+        if source.name is None or destination.name is None:
+            # Unnamed children are addressed positionally.
+            source_ref = f"#{first}"
+            destination_ref = f"#{second}"
+        else:
+            source_ref = source.name
+            destination_ref = destination.name
+        if rng.random() < 0.5:
+            node.add_arc(SyncArc(
+                source=source_ref, destination=destination_ref,
+                min_delay=MediaTime.ms(0.0), max_delay=None))
+        else:
+            from repro.core.syncarc import Strictness
+            node.add_arc(SyncArc(
+                source=source_ref, destination=destination_ref,
+                strictness=Strictness.MAY,
+                min_delay=MediaTime.ms(0.0),
+                max_delay=MediaTime.ms(rng.uniform(5000.0, 20000.0))))

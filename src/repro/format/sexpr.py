@@ -1,0 +1,242 @@
+"""S-expression substrate for the concrete CMIF syntax.
+
+The paper states that "we have created CMIF documents to be
+human-readable"; the reference report's concrete grammar [Rossum91] is
+not available, so this reproduction defines a parenthesized concrete
+syntax directly from the abstract structures of figures 6, 7 and 9 (the
+substitution is recorded in DESIGN.md).  This module supplies the
+reader/printer for the underlying s-expressions; the CMIF-specific
+grammar lives in :mod:`repro.format.parser` and
+:mod:`repro.format.writer`.
+
+Data model: an expression is a :class:`Symbol`, a ``str`` (quoted
+string), an ``int``/``float``, or a ``list`` of expressions.  Comments
+run from ``;`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import FormatError
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A bare (unquoted) token, the concrete form of the paper's ID values."""
+
+    text: str
+
+    def __post_init__(self) -> None:
+        if not self.text or any(ch.isspace() for ch in self.text):
+            raise FormatError(f"symbol cannot be empty or contain "
+                              f"whitespace: {self.text!r}")
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str        # 'open' | 'close' | 'string' | 'number' | 'symbol'
+    value: object
+    line: int
+    column: int
+
+
+_DELIMITERS = set("()\";")
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Tokenize s-expression source text, tracking line/column."""
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            column += 1
+            i += 1
+            continue
+        if ch == ";":
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "(":
+            yield Token("open", "(", line, column)
+            i += 1
+            column += 1
+            continue
+        if ch == ")":
+            yield Token("close", ")", line, column)
+            i += 1
+            column += 1
+            continue
+        if ch == '"':
+            value, consumed, newlines, end_column = _read_string(
+                text, i, line, column)
+            yield Token("string", value, line, column)
+            i += consumed
+            if newlines:
+                line += newlines
+                column = end_column
+            else:
+                column += consumed
+            continue
+        start = i
+        start_column = column
+        while i < length and not text[i].isspace() \
+                and text[i] not in _DELIMITERS:
+            i += 1
+            column += 1
+        word = text[start:i]
+        number = _try_number(word)
+        if number is not None:
+            yield Token("number", number, line, start_column)
+        else:
+            yield Token("symbol", Symbol(word), line, start_column)
+
+
+def _read_string(text: str, start: int, line: int,
+                 column: int) -> tuple[str, int, int, int]:
+    """Read a quoted string starting at ``text[start]`` (a ``\"``).
+
+    Returns (value, characters consumed, newlines inside, column after).
+    Supports the escapes ``\\\\``, ``\\\"``, ``\\n``, ``\\t``.
+    """
+    out: list[str] = []
+    i = start + 1
+    newlines = 0
+    current_column = column + 1
+    while i < len(text):
+        ch = text[i]
+        if ch == '"':
+            return "".join(out), i - start + 1, newlines, current_column + 1
+        if ch == "\\":
+            if i + 1 >= len(text):
+                break
+            escape = text[i + 1]
+            mapping = {"\\": "\\", '"': '"', "n": "\n", "t": "\t"}
+            if escape not in mapping:
+                raise FormatError(f"unknown string escape \\{escape}",
+                                  line, current_column)
+            out.append(mapping[escape])
+            i += 2
+            current_column += 2
+            continue
+        if ch == "\n":
+            newlines += 1
+            current_column = 1
+        else:
+            current_column += 1
+        out.append(ch)
+        i += 1
+    raise FormatError("unterminated string literal", line, column)
+
+
+def _try_number(word: str) -> int | float | None:
+    """Parse ``word`` as a number, or None when it is a symbol."""
+    try:
+        return int(word)
+    except ValueError:
+        pass
+    try:
+        value = float(word)
+    except ValueError:
+        return None
+    # Reject words like 'inf'/'nan' as numbers; they read as symbols so
+    # the CMIF grammar can give 'inf' its own meaning (unbounded delay).
+    if word.lower() in ("inf", "-inf", "nan", "infinity", "-infinity"):
+        return None
+    return value
+
+
+def parse_all(text: str) -> list[object]:
+    """Parse the source text into a list of top-level expressions."""
+    stack: list[list[object]] = [[]]
+    opens: list[Token] = []
+    for token in tokenize(text):
+        if token.kind == "open":
+            stack.append([])
+            opens.append(token)
+        elif token.kind == "close":
+            if len(stack) == 1:
+                raise FormatError("unbalanced ')'", token.line, token.column)
+            finished = stack.pop()
+            opens.pop()
+            stack[-1].append(finished)
+        else:
+            stack[-1].append(token.value)
+    if len(stack) != 1:
+        token = opens[-1]
+        raise FormatError("unbalanced '('", token.line, token.column)
+    return stack[0]
+
+
+def parse_one(text: str) -> object:
+    """Parse exactly one expression from the source text."""
+    expressions = parse_all(text)
+    if len(expressions) != 1:
+        raise FormatError(
+            f"expected exactly one expression, found {len(expressions)}")
+    return expressions[0]
+
+
+def dump(expression: object, indent: int = 0, width: int = 76) -> str:
+    """Pretty-print an expression with indentation.
+
+    Short lists are kept on one line; long ones break after the head so
+    documents stay readable — the property the paper wants from the
+    interchange form.
+    """
+    flat = _dump_flat(expression)
+    if len(flat) + indent <= width or not isinstance(expression, list):
+        return flat
+    if not expression:
+        return "()"
+    head = _dump_flat(expression[0])
+    lines = ["(" + head]
+    pad = " " * (indent + 2)
+    for item in expression[1:]:
+        lines.append(pad + dump(item, indent + 2, width))
+    return "\n".join(lines) + ")"
+
+
+def _dump_flat(expression: object) -> str:
+    """Single-line rendering of an expression."""
+    if isinstance(expression, list):
+        return "(" + " ".join(_dump_flat(item) for item in expression) + ")"
+    if isinstance(expression, Symbol):
+        return expression.text
+    if isinstance(expression, str):
+        escaped = (expression.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{escaped}"'
+    if isinstance(expression, bool):
+        return "true" if expression else "false"
+    if isinstance(expression, float):
+        # repr() is the shortest representation that round-trips exactly;
+        # integral floats drop the trailing ".0" for readability.
+        if expression.is_integer() and abs(expression) < 1e16:
+            return str(int(expression))
+        return repr(expression)
+    if isinstance(expression, int):
+        return str(expression)
+    raise FormatError(f"cannot serialize {expression!r} as an s-expression")
+
+
+def head_symbol(expression: object) -> str | None:
+    """The head symbol text of a list expression, or None."""
+    if (isinstance(expression, list) and expression
+            and isinstance(expression[0], Symbol)):
+        return expression[0].text
+    return None

@@ -1,0 +1,108 @@
+"""Synthetic text media: caption and label blocks.
+
+Stands in for the paper's text capture tooling (DESIGN.md substitution
+table).  Text is the one medium CMIF interprets slightly — immediate
+nodes default to it — so the generator produces deterministic,
+seed-driven sentences whose *descriptors* carry everything downstream
+tools need: character count, estimated reading duration, language, and
+search keywords (the section-6 attribute-only retrieval keys).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.channels import Medium
+from repro.core.descriptors import DataBlock, DataDescriptor
+from repro.core.timebase import MediaTime, TimeBase, Unit
+
+#: Word pool used by the deterministic sentence generator.  Chosen to
+#: echo the paper's news example so generated corpora read plausibly.
+_WORDS = (
+    "museum painting stolen gallery reporter announcer witness police "
+    "insurance value million guilder crime scene public outcry story "
+    "evening news broadcast caption label archive curator recovery "
+    "investigation suspect frame canvas masterpiece collection"
+).split()
+
+_LANGUAGES = ("en", "nl", "fr", "de")
+
+
+def generate_sentence(rng: random.Random, words: int = 8) -> str:
+    """One deterministic sentence of ``words`` words."""
+    chosen = [rng.choice(_WORDS) for _ in range(max(1, words))]
+    chosen[0] = chosen[0].capitalize()
+    return " ".join(chosen) + "."
+
+
+def generate_paragraph(rng: random.Random, sentences: int = 3,
+                       words_per_sentence: int = 8) -> str:
+    """A deterministic paragraph."""
+    return " ".join(generate_sentence(rng, words_per_sentence)
+                    for _ in range(max(1, sentences)))
+
+
+def make_text_block(block_id: str, *, seed: int = 0, sentences: int = 2,
+                    language: str = "en",
+                    timebase: TimeBase | None = None,
+                    keywords: tuple[str, ...] = (),
+                    text: str | None = None
+                    ) -> tuple[DataBlock, DataDescriptor]:
+    """Create a text data block with its data descriptor.
+
+    When ``text`` is given it is used verbatim; otherwise a deterministic
+    paragraph is generated from ``seed``.  The descriptor's duration is
+    the reading-speed estimate used for caption scheduling.
+    """
+    timebase = timebase or TimeBase()
+    if text is None:
+        rng = random.Random(seed)
+        text = generate_paragraph(rng, sentences)
+    if language not in _LANGUAGES:
+        _ = language  # free-form languages are allowed; known ones indexed
+    duration = MediaTime(max(1, len(text)), Unit.CHARACTERS)
+    block = DataBlock(block_id=block_id, medium=Medium.TEXT, payload=text)
+    descriptor = DataDescriptor(
+        descriptor_id=f"{block_id}.desc",
+        medium=Medium.TEXT,
+        block_id=block_id,
+        attributes={
+            "format": "text/plain",
+            "duration": duration,
+            "characters": len(text),
+            "language": language,
+            "keywords": tuple(keywords) or _extract_keywords(text),
+            "resources": {"bandwidth-bps": 8 * len(text)},
+        },
+    )
+    return block, descriptor
+
+
+def _extract_keywords(text: str, limit: int = 6) -> tuple[str, ...]:
+    """Pick the distinct informative words of a text as search keys."""
+    seen: list[str] = []
+    for raw in text.lower().split():
+        word = raw.strip(".,;:!?\"'")
+        if len(word) >= 5 and word not in seen:
+            seen.append(word)
+        if len(seen) >= limit:
+            break
+    return tuple(seen)
+
+
+def translate_stub(text: str, target_language: str) -> str:
+    """A deterministic 'translation' for multilingual caption channels.
+
+    The paper's caption channel presents "an English translation of the
+    Dutch text coming through the speakers"; real translation is out of
+    scope, so this tags the text with the target language in a reversible
+    way, which is enough to exercise separate caption channels per
+    language.
+    """
+    return f"[{target_language}] {text}"
+
+
+def reading_duration_ms(text: str, timebase: TimeBase | None = None) -> float:
+    """The reading-speed duration estimate for a text, in milliseconds."""
+    timebase = timebase or TimeBase()
+    return timebase.to_ms(MediaTime(max(1, len(text)), Unit.CHARACTERS))

@@ -1,0 +1,82 @@
+"""The CWI/Multimedia Pipeline (paper section 2, figure 1).
+
+Five stages, one module each:
+
+1. :mod:`repro.pipeline.capture` — media block capture tools;
+2. :mod:`repro.pipeline.mapping` — the document structure mapping tool;
+3. :mod:`repro.pipeline.presentation` — the presentation mapping tool;
+4. :mod:`repro.pipeline.filters` — constraint filtering tools;
+5. :mod:`repro.pipeline.viewer` / :mod:`repro.pipeline.player` —
+   document viewing and reading tools.
+
+Stages 1–2 are target-system independent, 3 bridges, 4–5 are
+target-system dependent — the figure-1 split.  :func:`run_pipeline`
+drives a document through all five stages and returns every
+intermediate artifact, which is what the fig-1 bench measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.document import CmifDocument
+from repro.pipeline.capture import Captured, CaptureSession
+from repro.pipeline.filters import (ConstraintFilter, FilterAction,
+                                    FilterKind, FilterPlan, apply_action)
+from repro.pipeline.mapping import StructureMapper
+from repro.pipeline.navigation import (Jump, Link, NavigationSession,
+                                       collect_links)
+from repro.pipeline.player import (ArcAudit, PlaybackReport, PlayedEvent,
+                                   Player)
+from repro.pipeline.presentation import (PresentationMap,
+                                         PresentationMapper, Region,
+                                         SpeakerAssignment, VIRTUAL_HEIGHT,
+                                         VIRTUAL_WIDTH)
+from repro.pipeline.viewer import (render_arc_table, render_embedded,
+                                   render_screen, render_summary,
+                                   render_timeline, render_tree)
+from repro.timing.schedule import Schedule, schedule_document
+from repro.transport.environments import SystemEnvironment, WORKSTATION
+
+
+@dataclass
+class PipelineRun:
+    """Every artifact of one end-to-end pipeline execution."""
+
+    document: CmifDocument
+    presentation: PresentationMap
+    filter_plan: FilterPlan
+    schedule: Schedule
+    playback: PlaybackReport
+
+
+def run_pipeline(document: CmifDocument,
+                 environment: SystemEnvironment = WORKSTATION, *,
+                 seed: int = 0) -> PipelineRun:
+    """Drive a finished document through stages 3–5.
+
+    (Stages 1–2 produce the document itself; see
+    :class:`CaptureSession` and :class:`StructureMapper`.)
+    """
+    compiled = document.compile()
+    presentation = PresentationMapper(
+        speaker_count=max(1, environment.audio_channels)).map_document(
+        document)
+    filter_plan = ConstraintFilter(environment).plan(compiled)
+    schedule = schedule_document(compiled)
+    playback = Player(environment, seed=seed).play(schedule)
+    return PipelineRun(document=document, presentation=presentation,
+                       filter_plan=filter_plan, schedule=schedule,
+                       playback=playback)
+
+
+__all__ = [
+    "ArcAudit", "Captured", "CaptureSession", "ConstraintFilter",
+    "FilterAction", "FilterKind", "FilterPlan", "Jump", "Link",
+    "NavigationSession", "PipelineRun", "PlaybackReport", "PlayedEvent",
+    "Player", "PresentationMap", "PresentationMapper", "Region",
+    "SpeakerAssignment", "StructureMapper", "collect_links",
+    "VIRTUAL_HEIGHT", "VIRTUAL_WIDTH", "apply_action", "render_arc_table",
+    "render_embedded", "render_screen", "render_summary", "render_timeline",
+    "render_tree", "run_pipeline",
+]

@@ -1,0 +1,262 @@
+"""Pipeline stage 4: constraint filtering tools (paper section 2).
+
+"These tools allow the end-user presentation system to filter components
+of the document to meet local processing constraints.  (This corresponds
+to a mapping of the document from the virtual presentation environment
+to a physical presentation environment.)  Typical filterings may include
+24-bit color to 8-bit color, color to monochrome, high-resolution to low
+resolution, full-frame-rate video to sub-sampled rate video."
+
+Exactly per the paper, "this tool manages a constraint *mapping*; the
+actual constraint implementation will be supported by user level,
+operating system, or hardware level modules": :class:`ConstraintFilter`
+produces a :class:`FilterPlan` of declarative :class:`FilterAction`
+records from descriptors alone, and a separate executor
+(:func:`apply_action`) realizes each action on payload data using the
+:mod:`repro.media` transformations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.channels import Medium
+from repro.core.descriptors import DataDescriptor
+from repro.core.document import CmifDocument, CompiledDocument
+from repro.core.errors import DeviceConstraintError, MediaError
+from repro.media.audio import downsample
+from repro.media.image import reduce_color_depth, scale_image, to_monochrome
+from repro.media.video import scale_frames, subsample_frame_rate
+from repro.timing.conflicts import ConflictReport, detect_device_conflicts
+from repro.transport.environments import SystemEnvironment
+
+
+class FilterKind(enum.Enum):
+    """The constraint mappings the paper lists, plus channel dropping."""
+
+    REDUCE_COLOR = "reduce-color"
+    TO_MONOCHROME = "to-monochrome"
+    SCALE_RESOLUTION = "scale-resolution"
+    SUBSAMPLE_FRAMES = "subsample-frames"
+    DOWNSAMPLE_AUDIO = "downsample-audio"
+    DROP_CHANNEL = "drop-channel"
+
+
+@dataclass(frozen=True)
+class FilterAction:
+    """One declarative filtering step for one channel or descriptor."""
+
+    kind: FilterKind
+    channel: str
+    descriptor_id: str | None
+    parameters: dict[str, Any]
+    reason: str
+
+    def __str__(self) -> str:
+        target = self.descriptor_id or f"channel {self.channel!r}"
+        return f"{self.kind.value} on {target}: {self.reason}"
+
+
+@dataclass
+class FilterPlan:
+    """The stage-4 output: actions plus device conflict reports."""
+
+    environment: str
+    actions: list[FilterAction] = field(default_factory=list)
+    conflicts: list[ConflictReport] = field(default_factory=list)
+
+    @property
+    def dropped_channels(self) -> set[str]:
+        """Channels the plan removes entirely."""
+        return {action.channel for action in self.actions
+                if action.kind is FilterKind.DROP_CHANNEL}
+
+    def actions_for(self, descriptor_id: str) -> list[FilterAction]:
+        """The actions applying to one descriptor."""
+        return [action for action in self.actions
+                if action.descriptor_id == descriptor_id]
+
+    def describe(self) -> str:
+        lines = [f"filter plan for {self.environment}:"]
+        if not self.actions:
+            lines.append("  (document passes unfiltered)")
+        lines.extend(f"  - {action}" for action in self.actions)
+        for conflict in self.conflicts:
+            lines.append(f"  ! {conflict}")
+        return "\n".join(lines)
+
+
+class ConstraintFilter:
+    """Derives a :class:`FilterPlan` from descriptors and capabilities."""
+
+    def __init__(self, environment: SystemEnvironment) -> None:
+        self.environment = environment
+
+    def plan(self, compiled: CompiledDocument) -> FilterPlan:
+        """Compute the constraint mapping for a compiled document."""
+        plan = FilterPlan(environment=self.environment.name)
+        document = compiled.document
+        seen: set[tuple[str, str]] = set()
+        for event in compiled.events:
+            key = (event.channel,
+                   event.descriptor.descriptor_id if event.descriptor
+                   else event.event_id)
+            if key in seen:
+                continue
+            seen.add(key)
+            self._plan_event(plan, document, event.channel, event.medium,
+                             event.descriptor)
+        latencies = {
+            name: self.environment.latency_for(
+                document.channels.lookup(name).medium)
+            for name in document.channels.names()}
+        plan.conflicts = detect_device_conflicts(compiled, latencies)
+        return plan
+
+    # -- per-event planning --------------------------------------------------
+
+    def _plan_event(self, plan: FilterPlan, document: CmifDocument,
+                    channel: str, medium: Medium,
+                    descriptor: DataDescriptor | None) -> None:
+        environment = self.environment
+        if not environment.supports(medium):
+            plan.actions.append(FilterAction(
+                kind=FilterKind.DROP_CHANNEL, channel=channel,
+                descriptor_id=None,
+                parameters={"medium": medium.value},
+                reason=f"environment {environment.name!r} does not support "
+                       f"{medium.value}"))
+            return
+        if descriptor is None:
+            return
+        if medium in (Medium.IMAGE, Medium.VIDEO):
+            self._plan_visual(plan, channel, descriptor)
+        if medium is Medium.VIDEO:
+            self._plan_frame_rate(plan, channel, descriptor)
+        if medium is Medium.AUDIO:
+            self._plan_audio(plan, channel, descriptor)
+
+    def _plan_visual(self, plan: FilterPlan, channel: str,
+                     descriptor: DataDescriptor) -> None:
+        environment = self.environment
+        depth = int(descriptor.get("color-depth", 0))
+        if depth > environment.color_depth:
+            if environment.color_depth <= 1:
+                plan.actions.append(FilterAction(
+                    kind=FilterKind.TO_MONOCHROME, channel=channel,
+                    descriptor_id=descriptor.descriptor_id,
+                    parameters={},
+                    reason=f"{depth}-bit colour on a monochrome display"))
+            else:
+                bits = max(1, environment.color_depth // 3)
+                plan.actions.append(FilterAction(
+                    kind=FilterKind.REDUCE_COLOR, channel=channel,
+                    descriptor_id=descriptor.descriptor_id,
+                    parameters={"bits_per_channel": bits},
+                    reason=f"{depth}-bit colour exceeds the display's "
+                           f"{environment.color_depth}-bit depth"))
+        resolution = descriptor.get("resolution")
+        if resolution:
+            width, height = int(resolution[0]), int(resolution[1])
+            if width > environment.screen_width \
+                    or height > environment.screen_height:
+                scale = min(environment.screen_width / width,
+                            environment.screen_height / height)
+                plan.actions.append(FilterAction(
+                    kind=FilterKind.SCALE_RESOLUTION, channel=channel,
+                    descriptor_id=descriptor.descriptor_id,
+                    parameters={
+                        "target_width": max(1, int(width * scale)),
+                        "target_height": max(1, int(height * scale)),
+                    },
+                    reason=f"{width}x{height} exceeds the "
+                           f"{environment.screen_width}x"
+                           f"{environment.screen_height} screen"))
+
+    def _plan_frame_rate(self, plan: FilterPlan, channel: str,
+                         descriptor: DataDescriptor) -> None:
+        environment = self.environment
+        rate = float(descriptor.get("frame-rate", 0.0))
+        if rate > environment.max_frame_rate > 0:
+            plan.actions.append(FilterAction(
+                kind=FilterKind.SUBSAMPLE_FRAMES, channel=channel,
+                descriptor_id=descriptor.descriptor_id,
+                parameters={"target_rate": environment.max_frame_rate},
+                reason=f"{rate:g}fps exceeds the device's "
+                       f"{environment.max_frame_rate:g}fps"))
+
+    def _plan_audio(self, plan: FilterPlan, channel: str,
+                    descriptor: DataDescriptor) -> None:
+        environment = self.environment
+        rate = float(descriptor.get("sample-rate", 0.0))
+        if rate > environment.max_sample_rate > 0:
+            plan.actions.append(FilterAction(
+                kind=FilterKind.DOWNSAMPLE_AUDIO, channel=channel,
+                descriptor_id=descriptor.descriptor_id,
+                parameters={"target_rate": environment.max_sample_rate},
+                reason=f"{rate:g}Hz exceeds the device's "
+                       f"{environment.max_sample_rate:g}Hz"))
+
+
+def apply_action(action: FilterAction, payload: Any,
+                 descriptor: DataDescriptor) -> tuple[Any, DataDescriptor]:
+    """Execute one filter action on concrete payload data.
+
+    Returns the transformed payload and an updated descriptor whose
+    attributes reflect the new format (the receiving tools keep working
+    from attributes, so the mapping must keep them truthful).
+    """
+    attributes = dict(descriptor.attributes)
+    if action.kind is FilterKind.REDUCE_COLOR:
+        bits = action.parameters["bits_per_channel"]
+        transformed = _map_frames(payload, descriptor,
+                                  lambda a: reduce_color_depth(a, bits))
+        attributes["color-depth"] = bits * 3
+    elif action.kind is FilterKind.TO_MONOCHROME:
+        transformed = _map_frames(payload, descriptor, to_monochrome)
+        attributes["color-depth"] = 1
+    elif action.kind is FilterKind.SCALE_RESOLUTION:
+        width = action.parameters["target_width"]
+        height = action.parameters["target_height"]
+        if descriptor.medium is Medium.VIDEO:
+            transformed = scale_frames(payload, width, height)
+        else:
+            transformed = scale_image(payload, width, height)
+        attributes["resolution"] = (width, height)
+    elif action.kind is FilterKind.SUBSAMPLE_FRAMES:
+        rate = float(descriptor.get("frame-rate", 25.0))
+        transformed, achieved = subsample_frame_rate(
+            payload, rate, action.parameters["target_rate"])
+        attributes["frame-rate"] = achieved
+        attributes["frames"] = len(transformed)
+    elif action.kind is FilterKind.DOWNSAMPLE_AUDIO:
+        rate = float(descriptor.get("sample-rate", 44100.0))
+        transformed, achieved = downsample(
+            np.asarray(payload), rate, action.parameters["target_rate"])
+        attributes["sample-rate"] = achieved
+        attributes["samples"] = len(transformed)
+    elif action.kind is FilterKind.DROP_CHANNEL:
+        raise DeviceConstraintError(
+            "drop-channel actions remove events; they have no payload "
+            "transformation")
+    else:  # pragma: no cover - exhaustive over FilterKind
+        raise MediaError(f"unknown filter action {action.kind}")
+    updated = DataDescriptor(
+        descriptor_id=descriptor.descriptor_id,
+        medium=descriptor.medium,
+        block_id=descriptor.block_id,
+        attributes=attributes,
+    )
+    return transformed, updated
+
+
+def _map_frames(payload: Any, descriptor: DataDescriptor, transform) -> Any:
+    """Apply a per-image transform to an image or every video frame."""
+    array = np.asarray(payload)
+    if descriptor.medium is Medium.VIDEO:
+        return np.stack([transform(frame) for frame in array])
+    return transform(array)

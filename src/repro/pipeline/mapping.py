@@ -1,0 +1,83 @@
+"""Pipeline stage 2: the document structure mapping tool (paper section 2).
+
+"This tool allows the user to express relationships among individual
+media blocks.  The relationships are primarily temporal and spatial. ...
+The document structure mapping tool produces a document in the CMIF
+format."
+
+:class:`StructureMapper` is a thin authoring layer above
+:class:`~repro.core.builder.DocumentBuilder` that works directly with
+:class:`~repro.pipeline.capture.Captured` media: it wires ``file``
+references, registers descriptors, and provides the common composite
+shapes (a parallel *scene* of one block per channel; a sequential
+*sequence* of blocks on one channel) that section 4's news template is
+made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import DocumentBuilder
+from repro.core.document import CmifDocument
+from repro.core.nodes import ExtNode
+from repro.pipeline.capture import Captured
+from repro.store.datastore import DataStore
+
+
+@dataclass
+class StructureMapper:
+    """Maps captured media blocks into a CMIF document structure."""
+
+    builder: DocumentBuilder
+    store: DataStore
+
+    @classmethod
+    def create(cls, name: str, store: DataStore, *,
+               root_kind: str = "seq") -> "StructureMapper":
+        """Start a new mapping session over an existing capture store."""
+        return cls(builder=DocumentBuilder(name, root_kind=root_kind),
+                   store=store)
+
+    def channel(self, name: str, medium: str, **extra) -> "StructureMapper":
+        """Declare a channel (delegates to the builder)."""
+        self.builder.channel(name, medium, **extra)
+        return self
+
+    def place(self, captured: Captured, channel: str,
+              name: str | None = None, **attributes) -> ExtNode:
+        """Place one captured block as an external node.
+
+        Registers the block's descriptor with the document so scheduling
+        can resolve durations without consulting the store.
+        """
+        self.builder.descriptor(captured.file_id, captured.descriptor)
+        return self.builder.ext(name, file=captured.file_id,
+                                channel=channel, **attributes)
+
+    def scene(self, name: str,
+              placements: dict[str, Captured]) -> "StructureMapper":
+        """A parallel node with one captured block per channel.
+
+        ``placements`` maps channel names to captures — the shape of one
+        news story moment (video + audio + graphic + caption + label all
+        at once).
+        """
+        with self.builder.par(name):
+            for channel, captured in placements.items():
+                self.place(captured, channel, name=f"{name}-{channel}")
+        return self
+
+    def sequence(self, name: str, channel: str,
+                 captures: list[Captured]) -> "StructureMapper":
+        """A sequential node of blocks all on one channel."""
+        with self.builder.seq(name):
+            for index, captured in enumerate(captures):
+                self.place(captured, channel, name=f"{name}-{index}")
+        return self
+
+    def finish(self, validate: bool = True) -> CmifDocument:
+        """Produce the CMIF document and attach the store's resolver."""
+        document = self.builder.build(validate=validate)
+        document.attach_resolver(self.store.resolver())
+        return document

@@ -1,0 +1,230 @@
+"""Hyper-navigation over conditional arcs (paper section 3.2).
+
+"The entire question of hyper access to data is intimately related to
+the concepts of document presentation synchronization. ... we suspect
+that this general problem can be addressed via the definition of
+conditional synchronization arcs that point to events on separate
+channels" — the paper leaves the idea as future work; this module
+implements it, flagged experimental in DESIGN.md.
+
+A :class:`ConditionalArc` carries a named condition.  During an
+interactive session (:class:`NavigationSession`), firing a condition at
+some presentation time *jumps* the reader: the arc's destination anchor
+becomes the new playback position, computed through the ordinary offset
+mechanism.  Jump validity reuses the class-3 navigation analysis: after
+a jump, relative arcs whose sources never executed are reported
+invalid, because "the source of the arc must execute in order for a
+synchronization condition to be true".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import NavigationError
+from repro.core.paths import node_path, resolve_path
+from repro.core.syncarc import Anchor, ConditionalArc
+from repro.core.tree import iter_preorder
+from repro.timing.conflicts import NAVIGATION, ConflictReport
+from repro.timing.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Link:
+    """One followable hyper-link: a conditional arc with solved times."""
+
+    condition: str
+    owner_path: str
+    source_path: str
+    target_path: str
+    active_from_ms: float
+    active_until_ms: float
+    target_time_ms: float
+
+    def active_at(self, time_ms: float) -> bool:
+        """True while the link's source event is on screen."""
+        return self.active_from_ms <= time_ms < self.active_until_ms
+
+    def __str__(self) -> str:
+        return (f"[{self.condition}] {self.source_path} -> "
+                f"{self.target_path} @ {self.target_time_ms:g}ms")
+
+
+@dataclass
+class Jump:
+    """One navigation step taken during a session."""
+
+    condition: str
+    from_ms: float
+    to_ms: float
+    invalidated: list[ConflictReport] = field(default_factory=list)
+
+
+def collect_links(schedule: Schedule) -> list[Link]:
+    """Extract every conditional arc of a scheduled document as a link.
+
+    A link is *active* while its source node is being presented — the
+    reader can only follow what is on screen, the natural hypermedia
+    rule.  The jump target is the destination anchor time plus the
+    arc's offset.
+    """
+    document = schedule.compiled.document
+    links: list[Link] = []
+    for node in iter_preorder(document.root):
+        for arc in node.arcs:
+            if not isinstance(arc, ConditionalArc):
+                continue
+            source = resolve_path(node, arc.source)
+            target = resolve_path(node, arc.destination)
+            source_path = node_path(source)
+            target_path = node_path(target)
+            begin = schedule.node_begin_ms(source_path)
+            end = schedule.node_end_ms(source_path)
+            anchor_time = (schedule.node_begin_ms(target_path)
+                           if arc.dst_anchor is Anchor.BEGIN
+                           else schedule.node_end_ms(target_path))
+            offset_ms = document.timebase.to_ms(arc.offset)
+            links.append(Link(
+                condition=arc.condition,
+                owner_path=node_path(node),
+                source_path=source_path,
+                target_path=target_path,
+                active_from_ms=begin,
+                active_until_ms=end,
+                target_time_ms=anchor_time + offset_ms,
+            ))
+    return links
+
+
+class NavigationSession:
+    """An interactive reading of one scheduled document.
+
+    Tracks the current presentation position; :meth:`follow` fires a
+    condition, jumping to the linked target and recording which relative
+    arcs the jump invalidated.  The document itself is never reordered —
+    the paper's rule that "re-ordering requires re-editing the document"
+    holds; navigation only moves the read position.
+    """
+
+    def __init__(self, schedule: Schedule) -> None:
+        self.schedule = schedule
+        self.links = collect_links(schedule)
+        self.position_ms = 0.0
+        self.history: list[Jump] = []
+        #: Closed intervals of presentation time the reader has actually
+        #: watched; jumps leave gaps.  Arc validity is judged against
+        #: these, not against a linear-play assumption.
+        self._played: list[tuple[float, float]] = []
+        self._segment_start = 0.0
+
+    def advance_to(self, time_ms: float) -> None:
+        """Linear progress (the presentation playing forward)."""
+        if time_ms < self.position_ms:
+            raise NavigationError(
+                f"advance_to({time_ms}) moves backwards; use follow() or "
+                f"rewind()")
+        self.position_ms = time_ms
+
+    def rewind(self) -> None:
+        """Back to the start (fast-reverse to zero is always valid)."""
+        self._played.append((self._segment_start, self.position_ms))
+        self.position_ms = 0.0
+        self._segment_start = 0.0
+
+    def active_links(self) -> list[Link]:
+        """Links the reader can follow right now."""
+        return [link for link in self.links
+                if link.active_at(self.position_ms)]
+
+    def conditions_available(self) -> list[str]:
+        """The distinct condition names currently followable."""
+        return sorted({link.condition for link in self.active_links()})
+
+    def follow(self, condition: str) -> Jump:
+        """Fire ``condition``: jump to the linked target.
+
+        Raises :class:`NavigationError` when no active link carries the
+        condition (the paper's arcs are only valid while their source
+        executes).
+        """
+        for link in self.active_links():
+            if link.condition == condition:
+                jump = Jump(
+                    condition=condition,
+                    from_ms=self.position_ms,
+                    to_ms=link.target_time_ms,
+                )
+                self._played.append((self._segment_start,
+                                     self.position_ms))
+                self.position_ms = link.target_time_ms
+                self._segment_start = link.target_time_ms
+                jump.invalidated = self._session_invalid_arcs()
+                self.history.append(jump)
+                return jump
+        raise NavigationError(
+            f"no active link for condition {condition!r} at "
+            f"{self.position_ms:g}ms (active: "
+            f"{self.conditions_available()})")
+
+    def _was_played(self, begin_ms: float, end_ms: float) -> bool:
+        """True when [begin_ms, end_ms] lies inside watched intervals.
+
+        The current open segment counts as watched up to the present
+        position.
+        """
+        segments = self._played + [(self._segment_start,
+                                    self.position_ms)]
+        # Merge and test coverage; segments are few (one per jump).
+        segments.sort()
+        covered_until = None
+        for start, end in segments:
+            if covered_until is None or start > covered_until + 1e-9:
+                covered_until = end if start <= begin_ms + 1e-9 else None
+                if covered_until is None:
+                    continue
+            else:
+                covered_until = max(covered_until, end)
+            if begin_ms >= start - 1e-9 and end_ms <= covered_until + 1e-9:
+                return True
+        return False
+
+    def _session_invalid_arcs(self) -> list[ConflictReport]:
+        """Class-3 analysis against the session's watched intervals.
+
+        An ordinary (non-conditional) arc is invalid when its source was
+        never fully presented in this session while its destination is
+        still ahead of the current position.  Conditional arcs are
+        runtime links, not synchronization constraints, and are skipped.
+        """
+        reports: list[ConflictReport] = []
+        document = self.schedule.compiled.document
+        for node in iter_preorder(document.root):
+            for arc in node.arcs:
+                if isinstance(arc, ConditionalArc):
+                    continue
+                source = resolve_path(node, arc.source)
+                destination = resolve_path(node, arc.destination)
+                source_path = node_path(source)
+                destination_path = node_path(destination)
+                try:
+                    src_begin = self.schedule.node_begin_ms(source_path)
+                    src_end = self.schedule.node_end_ms(source_path)
+                    dst_begin = self.schedule.node_begin_ms(
+                        destination_path)
+                except Exception:
+                    continue
+                if dst_begin < self.position_ms - 1e-9:
+                    continue
+                if self._was_played(src_begin, src_end):
+                    continue
+                reports.append(ConflictReport(
+                    NAVIGATION, node_path(node),
+                    f"in this session the source of {arc.describe()} "
+                    f"was never presented; all incoming synchronization "
+                    f"arcs are considered invalid"))
+        return reports
+
+    def on_screen(self) -> list[str]:
+        """Node paths of the events presented at the current position."""
+        return [event.event.node_path
+                for event in self.schedule.events_at(self.position_ms)]

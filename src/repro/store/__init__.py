@@ -1,0 +1,21 @@
+"""The optional DDBMS of paper figure 2: attribute-indexed block storage.
+
+Documents reference data through descriptors; the store resolves those
+references and answers attribute queries without touching payload bytes,
+reproducing the paper's section-6 claim about descriptor-driven document
+manipulation.
+"""
+
+from repro.store.datastore import DataStore, StoreStats
+from repro.store.distributed import (DESCRIPTOR_WIRE_BYTES, FederatedStore,
+                                     NetworkModel, Site, TrafficStats)
+from repro.store.query import (Query, always, attr_contains, attr_eq,
+                               attr_range, duration_between, keyword,
+                               medium_is, run)
+
+__all__ = [
+    "DESCRIPTOR_WIRE_BYTES", "DataStore", "FederatedStore", "NetworkModel",
+    "Query", "Site", "StoreStats", "TrafficStats", "always",
+    "attr_contains", "attr_eq", "attr_range", "duration_between",
+    "keyword", "medium_is", "run",
+]

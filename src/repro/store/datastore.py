@@ -1,0 +1,187 @@
+"""The attribute-indexed data block store (paper figure 2's DDBMS).
+
+"A database management system may be used to locate and access various
+data blocks based on the attributes in the data descriptors."  This
+module is that optional component: an in-memory store mapping descriptor
+ids to (descriptor, block) pairs with inverted indexes over keyword and
+medium attributes.
+
+The store instruments itself: ``payload_reads`` counts every access to
+actual block payloads and ``attribute_reads`` every descriptor access.
+The section-6 experiment ("much of the work associated with manipulating
+a document can be based on relatively small clusters of data (the
+attributes) rather than the often massive amounts of media-based data
+itself") is reproduced by showing searches complete with
+``payload_reads == 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.core.channels import Medium
+from repro.core.descriptors import DataBlock, DataDescriptor
+from repro.core.errors import StoreError
+
+
+@dataclass
+class StoreStats:
+    """Access counters used by the attribute-manipulation experiments."""
+
+    attribute_reads: int = 0
+    payload_reads: int = 0
+    payload_bytes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.attribute_reads = 0
+        self.payload_reads = 0
+        self.payload_bytes = 0
+
+
+class DataStore:
+    """In-memory DDBMS: descriptors indexed by id, keyword and medium."""
+
+    def __init__(self, name: str = "store") -> None:
+        self.name = name
+        self._descriptors: dict[str, DataDescriptor] = {}
+        self._blocks: dict[str, DataBlock] = {}
+        self._keyword_index: dict[str, set[str]] = {}
+        self._medium_index: dict[Medium, set[str]] = {}
+        self.stats = StoreStats()
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, descriptor: DataDescriptor,
+                 block: DataBlock | None = None) -> None:
+        """Add a descriptor (and optionally its block) to the store."""
+        if descriptor.descriptor_id in self._descriptors:
+            raise StoreError(
+                f"descriptor {descriptor.descriptor_id!r} registered twice")
+        self._descriptors[descriptor.descriptor_id] = descriptor
+        if block is not None:
+            if descriptor.block_id not in (None, block.block_id):
+                raise StoreError(
+                    f"descriptor {descriptor.descriptor_id!r} names block "
+                    f"{descriptor.block_id!r} but {block.block_id!r} was "
+                    f"supplied")
+            self._blocks[block.block_id] = block
+        for keyword in descriptor.get("keywords", ()):
+            self._keyword_index.setdefault(str(keyword), set()).add(
+                descriptor.descriptor_id)
+        self._medium_index.setdefault(descriptor.medium, set()).add(
+            descriptor.descriptor_id)
+
+    def register_pair(self, pair: tuple[DataBlock, DataDescriptor]) -> None:
+        """Register a (block, descriptor) pair from a media generator."""
+        block, descriptor = pair
+        self.register(descriptor, block)
+
+    # -- lookup -------------------------------------------------------------
+
+    def descriptor(self, descriptor_id: str) -> DataDescriptor:
+        """Fetch a descriptor by id (counts as an attribute read)."""
+        self.stats.attribute_reads += 1
+        found = self._descriptors.get(descriptor_id)
+        if found is None:
+            raise StoreError(f"no descriptor {descriptor_id!r} in store "
+                             f"{self.name!r}")
+        return found
+
+    def block_for(self, descriptor_id: str) -> DataBlock:
+        """Fetch the payload block behind a descriptor (a payload read)."""
+        descriptor = self.descriptor(descriptor_id)
+        if descriptor.block_id is None:
+            raise StoreError(
+                f"descriptor {descriptor_id!r} references no block")
+        block = self._blocks.get(descriptor.block_id)
+        if block is None:
+            raise StoreError(
+                f"block {descriptor.block_id!r} is not stored (descriptor "
+                f"travelled without its data)")
+        self.stats.payload_reads += 1
+        self.stats.payload_bytes += block.size_bytes
+        return block
+
+    def has_block(self, block_id: str) -> bool:
+        """True when the block's payload is present locally."""
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __contains__(self, descriptor_id: str) -> bool:
+        return descriptor_id in self._descriptors
+
+    def descriptors(self) -> Iterator[DataDescriptor]:
+        """All descriptors (each counted as an attribute read)."""
+        for descriptor in self._descriptors.values():
+            self.stats.attribute_reads += 1
+            yield descriptor
+
+    def blocks(self) -> Iterator[DataBlock]:
+        """All stored blocks (payload reads; used by the packager)."""
+        for block in self._blocks.values():
+            self.stats.payload_reads += 1
+            self.stats.payload_bytes += block.size_bytes
+            yield block
+
+    # -- attribute search -----------------------------------------------------
+
+    def find(self, **criteria: Any) -> list[DataDescriptor]:
+        """Attribute search; uses the keyword/medium indexes when possible.
+
+        ``keywords="crime"`` and ``medium="video"`` consult inverted
+        indexes; any remaining criteria are checked by descriptor
+        matching.  Payloads are never touched.
+        """
+        candidate_ids: set[str] | None = None
+        keyword = criteria.get("keywords")
+        if isinstance(keyword, str):
+            candidate_ids = set(self._keyword_index.get(keyword, set()))
+        medium = criteria.get("medium")
+        if medium is not None:
+            medium_key = (medium if isinstance(medium, Medium)
+                          else Medium.from_name(medium))
+            medium_ids = self._medium_index.get(medium_key, set())
+            candidate_ids = (set(medium_ids) if candidate_ids is None
+                             else candidate_ids & medium_ids)
+        if candidate_ids is None:
+            candidates: list[DataDescriptor] = list(
+                self._descriptors.values())
+        else:
+            candidates = [self._descriptors[i] for i in sorted(candidate_ids)]
+        results = []
+        for descriptor in candidates:
+            self.stats.attribute_reads += 1
+            if descriptor.matches(**criteria):
+                results.append(descriptor)
+        return results
+
+    def find_where(self, predicate: Callable[[DataDescriptor], bool]
+                   ) -> list[DataDescriptor]:
+        """Full-scan attribute search with an arbitrary predicate."""
+        results = []
+        for descriptor in self._descriptors.values():
+            self.stats.attribute_reads += 1
+            if predicate(descriptor):
+                results.append(descriptor)
+        return results
+
+    # -- document integration ---------------------------------------------------
+
+    def resolver(self) -> Callable[[str], DataDescriptor | None]:
+        """A resolver suitable for :meth:`CmifDocument.attach_resolver`.
+
+        Document ``file`` attributes name descriptors; unknown names
+        resolve to None so validation can warn rather than fail.
+        """
+        def resolve(file_id: str) -> DataDescriptor | None:
+            self.stats.attribute_reads += 1
+            return self._descriptors.get(file_id)
+        return resolve
+
+    def total_payload_bytes(self) -> int:
+        """Total stored payload size (materializes generator blocks)."""
+        return sum(block.size_bytes for block in self._blocks.values())

@@ -1,0 +1,218 @@
+"""A simulated distributed document store (paper section 6).
+
+"We also feel that the use of both distributed databases and distributed
+operating systems support is vital to the efficient implementation of
+multimedia systems. ... we are investigating the use of the Amoeba
+distributed operating system as a base for a distributed multimedia
+system, with integrated support for a distributed database mechanism to
+manage document storage across the multimedia environment."
+
+Amoeba itself is substituted (DESIGN.md) by a federation of local
+:class:`~repro.store.datastore.DataStore` sites connected by a simulated
+network: every remote operation pays a per-request latency plus a
+per-byte transfer cost, and the federation keeps transfer accounting.
+That is enough to reproduce the section-6 tendency the paper cares
+about: descriptor traffic is tiny and cacheable, payload traffic is
+huge, so *moving descriptors instead of data* is the winning strategy —
+measured by :mod:`benchmarks.bench_distributed_store`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.descriptors import DataBlock, DataDescriptor
+from repro.core.errors import StoreError
+from repro.store.datastore import DataStore
+
+#: Rough size of one serialized descriptor on the wire, in bytes.  Used
+#: for transfer accounting only; the exact figure is irrelevant to the
+#: descriptor-vs-payload asymmetry being demonstrated.
+DESCRIPTOR_WIRE_BYTES = 512
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-request latency and throughput of the simulated network."""
+
+    latency_ms: float = 5.0
+    bandwidth_bytes_per_ms: float = 1250.0   # 10 Mbit/s
+
+    def transfer_ms(self, size_bytes: int) -> float:
+        """Simulated wall time to move ``size_bytes`` one way."""
+        return self.latency_ms + size_bytes / self.bandwidth_bytes_per_ms
+
+
+@dataclass
+class TrafficStats:
+    """Accumulated simulated network traffic of one federation."""
+
+    requests: int = 0
+    descriptor_bytes: int = 0
+    payload_bytes: int = 0
+    simulated_ms: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.requests = 0
+        self.descriptor_bytes = 0
+        self.payload_bytes = 0
+        self.simulated_ms = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved, descriptors plus payloads."""
+        return self.descriptor_bytes + self.payload_bytes
+
+
+@dataclass
+class Site:
+    """One storage site of the federation."""
+
+    name: str
+    store: DataStore
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+
+class FederatedStore:
+    """Several sites presenting one descriptor namespace.
+
+    Descriptor lookups consult the local site first, then the remotes
+    (paying simulated network cost); fetched descriptors are cached
+    locally — the paper's "value of document sharing and multiple access
+    to information".  Payload fetches always pay full transfer cost and
+    are *not* cached by default (payloads are "massive"), unless
+    ``cache_payloads`` is set.
+    """
+
+    def __init__(self, local: Site, remotes: list[Site], *,
+                 cache_payloads: bool = False) -> None:
+        names = [local.name] + [site.name for site in remotes]
+        if len(set(names)) != len(names):
+            raise StoreError(f"duplicate site names in federation: {names}")
+        self.local = local
+        self.remotes = list(remotes)
+        self.cache_payloads = cache_payloads
+        self.traffic = TrafficStats()
+        self._descriptor_cache: dict[str, DataDescriptor] = {}
+
+    # -- descriptor path ---------------------------------------------------
+
+    def descriptor(self, descriptor_id: str) -> DataDescriptor:
+        """Resolve a descriptor, local first, then remotes (with cache)."""
+        if descriptor_id in self.local.store:
+            return self.local.store.descriptor(descriptor_id)
+        cached = self._descriptor_cache.get(descriptor_id)
+        if cached is not None:
+            return cached
+        for site in self.remotes:
+            if descriptor_id in site.store:
+                self.traffic.requests += 1
+                self.traffic.descriptor_bytes += DESCRIPTOR_WIRE_BYTES
+                self.traffic.simulated_ms += site.network.transfer_ms(
+                    DESCRIPTOR_WIRE_BYTES)
+                descriptor = site.store.descriptor(descriptor_id)
+                self._descriptor_cache[descriptor_id] = descriptor
+                return descriptor
+        raise StoreError(
+            f"no site in the federation holds descriptor "
+            f"{descriptor_id!r}")
+
+    def site_of(self, descriptor_id: str) -> str:
+        """Which site physically holds a descriptor's data."""
+        for site in [self.local, *self.remotes]:
+            if descriptor_id in site.store:
+                return site.name
+        raise StoreError(f"descriptor {descriptor_id!r} is nowhere in "
+                         f"the federation")
+
+    # -- payload path ----------------------------------------------------------
+
+    def block_for(self, descriptor_id: str) -> DataBlock:
+        """Fetch a payload block, paying transfer cost when remote."""
+        if descriptor_id in self.local.store:
+            return self.local.store.block_for(descriptor_id)
+        for site in self.remotes:
+            if descriptor_id in site.store:
+                block = site.store.block_for(descriptor_id)
+                size = block.size_bytes
+                self.traffic.requests += 1
+                self.traffic.payload_bytes += size
+                self.traffic.simulated_ms += site.network.transfer_ms(size)
+                if self.cache_payloads:
+                    descriptor = site.store.descriptor(descriptor_id)
+                    if descriptor_id not in self.local.store:
+                        self.local.store.register(
+                            DataDescriptor(
+                                descriptor_id=descriptor.descriptor_id,
+                                medium=descriptor.medium,
+                                block_id=descriptor.block_id,
+                                attributes=dict(descriptor.attributes)),
+                            block)
+                return block
+        raise StoreError(
+            f"no site in the federation holds a block for "
+            f"{descriptor_id!r}")
+
+    # -- federation-wide attribute search -----------------------------------------
+
+    def find(self, **criteria) -> list[DataDescriptor]:
+        """Attribute search across every site (descriptor traffic only).
+
+        Each remote site answers with matching descriptors; the
+        simulated cost is one request plus one descriptor's bytes per
+        match — the section-6 search-key scenario.
+        """
+        results = list(self.local.store.find(**criteria))
+        seen = {descriptor.descriptor_id for descriptor in results}
+        for site in self.remotes:
+            matches = site.store.find(**criteria)
+            self.traffic.requests += 1
+            matched_bytes = DESCRIPTOR_WIRE_BYTES * len(matches)
+            self.traffic.descriptor_bytes += matched_bytes
+            self.traffic.simulated_ms += site.network.transfer_ms(
+                matched_bytes)
+            for descriptor in matches:
+                if descriptor.descriptor_id not in seen:
+                    seen.add(descriptor.descriptor_id)
+                    results.append(descriptor)
+                    self._descriptor_cache[descriptor.descriptor_id] = \
+                        descriptor
+        return results
+
+    def resolver(self):
+        """A document resolver over the whole federation."""
+        def resolve(file_id: str) -> DataDescriptor | None:
+            try:
+                return self.descriptor(file_id)
+            except StoreError:
+                return None
+        return resolve
+
+    # -- placement analysis ---------------------------------------------------------
+
+    def placement_report(self, document) -> dict[str, list[str]]:
+        """Which site serves each of a document's file references.
+
+        The paper: "management of the location of data in a
+        transportable document" — this is the map a placement optimizer
+        would consume.
+        """
+        placement: dict[str, list[str]] = {}
+        styles = document.styles_or_none()
+        from repro.core.nodes import NodeKind
+        from repro.core.tree import iter_preorder
+        for node in iter_preorder(document.root):
+            if node.kind is not NodeKind.EXT:
+                continue
+            file_id = node.effective("file", styles=styles)
+            if file_id is None:
+                continue
+            try:
+                site = self.site_of(file_id)
+            except StoreError:
+                site = "<missing>"
+            placement.setdefault(site, []).append(file_id)
+        for file_ids in placement.values():
+            file_ids.sort()
+        return placement

@@ -1,0 +1,122 @@
+"""A small combinator query language over data descriptors (paper §6).
+
+"If the attributes contain search key information, then many time
+consuming activities relating to finding detailed information in large
+multimedia database may be simplified."  This module provides composable
+predicates over descriptors — equality, containment, numeric ranges,
+boolean combinators — compiled to plain callables the
+:class:`~repro.store.datastore.DataStore` executes without touching any
+payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.channels import Medium
+from repro.core.descriptors import DataDescriptor
+from repro.core.errors import QueryError
+from repro.core.timebase import MediaTime, TimeBase
+
+Predicate = Callable[[DataDescriptor], bool]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A composable descriptor predicate with a readable description."""
+
+    predicate: Predicate
+    description: str
+
+    def __call__(self, descriptor: DataDescriptor) -> bool:
+        return self.predicate(descriptor)
+
+    def __and__(self, other: "Query") -> "Query":
+        return Query(lambda d: self(d) and other(d),
+                     f"({self.description} AND {other.description})")
+
+    def __or__(self, other: "Query") -> "Query":
+        return Query(lambda d: self(d) or other(d),
+                     f"({self.description} OR {other.description})")
+
+    def __invert__(self) -> "Query":
+        return Query(lambda d: not self(d), f"(NOT {self.description})")
+
+
+def attr_eq(name: str, value: Any) -> Query:
+    """Attribute ``name`` equals ``value``."""
+    return Query(lambda d: d.get(name) == value, f"{name} == {value!r}")
+
+
+def attr_contains(name: str, item: Any) -> Query:
+    """Sequence attribute ``name`` contains ``item`` (keywords etc.)."""
+    def check(descriptor: DataDescriptor) -> bool:
+        stored = descriptor.get(name)
+        if stored is None:
+            return False
+        if isinstance(stored, (tuple, list, set, frozenset, str)):
+            return item in stored
+        return False
+    return Query(check, f"{item!r} in {name}")
+
+
+def attr_range(name: str, minimum: float | None = None,
+               maximum: float | None = None) -> Query:
+    """Numeric attribute ``name`` lies in [minimum, maximum]."""
+    if minimum is None and maximum is None:
+        raise QueryError("attr_range needs at least one bound")
+
+    def check(descriptor: DataDescriptor) -> bool:
+        value = descriptor.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        if minimum is not None and value < minimum:
+            return False
+        if maximum is not None and value > maximum:
+            return False
+        return True
+    return Query(check, f"{minimum!r} <= {name} <= {maximum!r}")
+
+
+def medium_is(medium: Medium | str) -> Query:
+    """Descriptor medium equals ``medium``."""
+    wanted = medium if isinstance(medium, Medium) else Medium.from_name(medium)
+    return Query(lambda d: d.medium is wanted, f"medium == {wanted.value}")
+
+
+def duration_between(min_ms: float | None = None,
+                     max_ms: float | None = None,
+                     timebase: TimeBase | None = None) -> Query:
+    """Intrinsic duration lies in [min_ms, max_ms] (canonical ms)."""
+    if min_ms is None and max_ms is None:
+        raise QueryError("duration_between needs at least one bound")
+    base = timebase or TimeBase()
+
+    def check(descriptor: DataDescriptor) -> bool:
+        duration = descriptor.duration
+        if duration is None:
+            return False
+        value = base.to_ms(duration)
+        if min_ms is not None and value < min_ms:
+            return False
+        if max_ms is not None and value > max_ms:
+            return False
+        return True
+    bounds = f"[{min_ms}, {max_ms}]ms"
+    return Query(check, f"duration in {bounds}")
+
+
+def keyword(word: str) -> Query:
+    """Shorthand for a keyword search (the common section-6 case)."""
+    return attr_contains("keywords", word)
+
+
+def always() -> Query:
+    """Matches every descriptor."""
+    return Query(lambda d: True, "TRUE")
+
+
+def run(store, query: Query) -> list[DataDescriptor]:
+    """Execute ``query`` against a :class:`DataStore` (attribute-only)."""
+    return store.find_where(query)

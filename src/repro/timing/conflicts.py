@@ -1,0 +1,171 @@
+"""The three synchronization conflict classes (paper section 5.3.3).
+
+"There are three general synchronization conflicts that can arise in
+processing a multimedia document":
+
+1. **Authoring conflicts** — "an unreasonable synchronization constraint
+   may have been defined (directly or indirectly) by a user".  Detected
+   by the solver as a positive cycle; :func:`diagnose_authoring` turns
+   the cycle into a readable report.
+2. **Device conflicts** — "device characteristics may limit the ability
+   of a particular environment to support a given document".  Detected
+   by :func:`detect_device_conflicts`, which checks each channel's device
+   latency against the maximum tolerable delays of arcs targeting events
+   on that channel ("a local-constraint tool should be able to flag the
+   conflict by studying information in the synchronization arcs").
+3. **Navigation conflicts** — "in navigating through a document, a
+   reader ... may want to fast-forward to a document section that
+   contains a number of relative synchronization constraints for which
+   the source or destination are not active".  Detected by
+   :func:`invalid_arcs_after_seek` under the paper's rule that "the
+   source of the arc must execute in order for a synchronization
+   condition to be true; if this is not the case, all incoming
+   synchronization arcs are considered to be invalid".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.document import CompiledDocument
+from repro.core.errors import SchedulingConflict
+from repro.core.nodes import Node
+from repro.core.paths import node_path, resolve_path
+from repro.core.syncarc import Strictness, SyncArc
+from repro.core.tree import iter_preorder, subtree_of
+from repro.timing.constraints import Constraint
+from repro.timing.schedule import Schedule
+
+AUTHORING = "authoring"
+DEVICE = "device"
+NAVIGATION = "navigation"
+
+
+@dataclass(frozen=True)
+class ConflictReport:
+    """One diagnosed conflict, tagged with its paper conflict class."""
+
+    conflict_class: str
+    subject: str
+    message: str
+    severity: str = "error"
+
+    def __str__(self) -> str:
+        return (f"[{self.conflict_class}/{self.severity}] "
+                f"{self.subject}: {self.message}")
+
+
+def diagnose_authoring(error: SchedulingConflict) -> list[ConflictReport]:
+    """Turn a solver conflict into per-constraint reports (class 1)."""
+    reports: list[ConflictReport] = []
+    cycle: list[Constraint] = getattr(error, "cycle", []) or []
+    if not cycle:
+        return [ConflictReport(AUTHORING, "document", str(error))]
+    total = sum(constraint.weight_ms for constraint in cycle)
+    for constraint in cycle:
+        reports.append(ConflictReport(
+            AUTHORING, str(constraint.var),
+            f"participates in an unsatisfiable constraint cycle "
+            f"(total slack {total:+g}ms): {constraint.describe()}"))
+    return reports
+
+
+def detect_device_conflicts(compiled: CompiledDocument,
+                            channel_latency_ms: dict[str, float]
+                            ) -> list[ConflictReport]:
+    """Check channel device latencies against arc tolerance windows.
+
+    ``channel_latency_ms`` gives each channel's worst-case start latency
+    (the constraint-filter tools derive it from the target environment).
+    A *must* arc whose maximum tolerable delay is smaller than the
+    destination channel's latency cannot be honoured on that device —
+    conflict class 2.  *May* arcs in the same situation produce warnings:
+    the environment is permitted to miss them.
+    """
+    reports: list[ConflictReport] = []
+    document = compiled.document
+    for node in iter_preorder(document.root):
+        for arc in node.arcs:
+            destination = resolve_path(node, arc.destination)
+            for leaf_event in _events_under(compiled, destination):
+                latency = channel_latency_ms.get(leaf_event.channel, 0.0)
+                _delta, epsilon = arc.window_ms(document.timebase)
+                if epsilon is None or latency <= epsilon:
+                    continue
+                severity = ("error" if arc.strictness is Strictness.MUST
+                            else "warning")
+                reports.append(ConflictReport(
+                    DEVICE, leaf_event.event_id,
+                    f"channel {leaf_event.channel!r} start latency "
+                    f"{latency:g}ms exceeds the arc's maximum tolerable "
+                    f"delay {epsilon:g}ms ({arc.describe()})",
+                    severity=severity))
+    return reports
+
+
+def _events_under(compiled: CompiledDocument, node: Node):
+    """The events of all leaves in the subtree rooted at ``node``."""
+    for leaf in iter_preorder(node):
+        if leaf.is_leaf:
+            event = compiled.by_node.get(id(leaf))
+            if event is not None:
+                yield event
+
+
+def invalid_arcs_after_seek(schedule: Schedule, seek_to_ms: float
+                            ) -> list[ConflictReport]:
+    """Arcs invalidated by a fast-forward to ``seek_to_ms`` (class 3).
+
+    An arc is invalid when its *source* event ends strictly before the
+    seek target — the source "was never executed" in the resumed
+    presentation — while its *destination* is still to come (begins at or
+    after the seek point).  Invalid must arcs are errors (the document's
+    required synchronization cannot be established); invalid may arcs are
+    warnings.
+    """
+    reports: list[ConflictReport] = []
+    compiled = schedule.compiled
+    document = compiled.document
+    for node in iter_preorder(document.root):
+        for arc in node.arcs:
+            source = resolve_path(node, arc.source)
+            destination = resolve_path(node, arc.destination)
+            source_events = list(_events_under(compiled, source))
+            destination_events = list(_events_under(compiled, destination))
+            if not source_events or not destination_events:
+                continue
+            source_end = max(
+                schedule.event_for_path(e.node_path).end_ms
+                for e in source_events)
+            destination_begin = min(
+                schedule.event_for_path(e.node_path).begin_ms
+                for e in destination_events)
+            if source_end < seek_to_ms and destination_begin >= seek_to_ms:
+                severity = ("error" if arc.strictness is Strictness.MUST
+                            else "warning")
+                reports.append(ConflictReport(
+                    NAVIGATION, node_path(node),
+                    f"after seeking to {seek_to_ms:g}ms the source of "
+                    f"{arc.describe()} never executes; all incoming "
+                    f"synchronization arcs are considered invalid",
+                    severity=severity))
+    return reports
+
+
+def common_ancestor_of_arc(node: Node, arc: SyncArc) -> Node:
+    """The common-ancestor trace the paper prescribes for arc validity.
+
+    "Because an internal tree is used to describe the data, the parents
+    of a synchronization node can be traced until the common ancestor
+    containing the source and destination of the arc is found."
+    """
+    source = resolve_path(node, arc.source)
+    destination = resolve_path(node, arc.destination)
+    candidate: Node | None = source
+    while candidate is not None:
+        if subtree_of(candidate, destination):
+            return candidate
+        candidate = candidate.parent
+    raise SchedulingConflict(
+        f"arc at {node_path(node)} has no common ancestor covering both "
+        f"endpoints")

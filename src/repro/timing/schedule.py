@@ -1,0 +1,195 @@
+"""Schedules: the solved timeline of a document (paper figure 3).
+
+A :class:`Schedule` assigns every node a begin and end time and every
+event a slot on its channel — the machine form of the paper's figure-3
+view (channels as columns, event descriptors as boxes, time flowing
+downward).  It is the input to the presentation player and to the
+viewing tools.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.core.descriptors import EventDescriptor
+from repro.core.document import CompiledDocument
+from repro.core.errors import SchedulingConflict
+from repro.core.timebase import times_close
+from repro.timing.constraints import (Constraint, ConstraintSystem,
+                                      TimeVar, VarKind, begin_var,
+                                      build_constraints, end_var)
+from repro.timing.solver import (RELAX_DROP_LAST, SolverResult, solve)
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One event with its solved presentation interval."""
+
+    event: EventDescriptor
+    begin_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        """Scheduled duration (equals the event's declared duration)."""
+        return self.end_ms - self.begin_ms
+
+    @property
+    def channel(self) -> str:
+        """The channel the event plays on."""
+        return self.event.channel
+
+    def overlaps(self, other: "ScheduledEvent") -> bool:
+        """True when the two presentation intervals intersect."""
+        return (self.begin_ms < other.end_ms - 1e-9
+                and other.begin_ms < self.end_ms - 1e-9)
+
+    def active_at(self, time_ms: float) -> bool:
+        """True when the event is being presented at ``time_ms``."""
+        return self.begin_ms - 1e-9 <= time_ms < self.end_ms - 1e-9
+
+    def __str__(self) -> str:
+        return (f"[{self.begin_ms:8.1f} .. {self.end_ms:8.1f}] "
+                f"{self.event.event_id} on {self.channel}")
+
+
+@dataclass
+class Schedule:
+    """The complete solved timeline of one compiled document."""
+
+    compiled: CompiledDocument
+    times_ms: dict[TimeVar, float]
+    events: list[ScheduledEvent] = field(default_factory=list)
+    dropped_constraints: list[Constraint] = field(default_factory=list)
+    solver_iterations: int = 1
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def total_duration_ms(self) -> float:
+        """End of the last event (the document's presentation length)."""
+        if not self.events:
+            return 0.0
+        return max(event.end_ms for event in self.events)
+
+    def node_begin_ms(self, path: str) -> float:
+        """Begin time of the node at root-relative ``path``."""
+        return self._lookup(begin_var(path))
+
+    def node_end_ms(self, path: str) -> float:
+        """End time of the node at root-relative ``path``."""
+        return self._lookup(end_var(path))
+
+    def _lookup(self, var: TimeVar) -> float:
+        value = self.times_ms.get(var)
+        if value is None:
+            raise SchedulingConflict(f"no scheduled time for {var}")
+        return value
+
+    def by_channel(self) -> dict[str, list[ScheduledEvent]]:
+        """Events grouped per channel, ordered by begin time."""
+        lanes: dict[str, list[ScheduledEvent]] = {
+            name: [] for name in self.compiled.per_channel}
+        for event in self.events:
+            lanes.setdefault(event.channel, []).append(event)
+        for lane in lanes.values():
+            lane.sort(key=lambda e: (e.begin_ms, e.end_ms))
+        return lanes
+
+    def events_at(self, time_ms: float) -> list[ScheduledEvent]:
+        """Every event active at ``time_ms`` (the figure-4a screen state)."""
+        return [event for event in self.events if event.active_at(time_ms)]
+
+    def event_for_path(self, node_path: str) -> ScheduledEvent:
+        """The scheduled event originating from the leaf at ``node_path``."""
+        for event in self.events:
+            if event.event.node_path == node_path:
+                return event
+        raise SchedulingConflict(f"no event scheduled for {node_path}")
+
+    def change_points(self) -> list[float]:
+        """Sorted distinct times where any event begins or ends."""
+        points: set[float] = set()
+        for event in self.events:
+            points.add(round(event.begin_ms, 6))
+            points.add(round(event.end_ms, 6))
+        return sorted(points)
+
+    def channel_utilization(self) -> dict[str, float]:
+        """Fraction of the document span each channel is busy.
+
+        A channel's busy time is the sum of its event durations; the
+        channel-serialization invariant guarantees no double counting.
+        """
+        total = self.total_duration_ms
+        if total <= 0:
+            return {name: 0.0 for name in self.compiled.per_channel}
+        busy: dict[str, float] = {name: 0.0
+                                  for name in self.compiled.per_channel}
+        for event in self.events:
+            busy[event.channel] = busy.get(event.channel, 0.0) \
+                + event.duration_ms
+        return {name: value / total for name, value in busy.items()}
+
+    # -- invariants ---------------------------------------------------------
+
+    def assert_channel_serialization(self) -> None:
+        """Check no two events on one channel overlap (section 3.1)."""
+        for channel, lane in self.by_channel().items():
+            for before, after in zip(lane, lane[1:]):
+                if before.overlaps(after):
+                    raise SchedulingConflict(
+                        f"events overlap on channel {channel!r}: "
+                        f"{before} and {after}")
+
+    def shifted(self, delta_ms: float) -> "Schedule":
+        """A copy with every time moved by ``delta_ms`` (for previews)."""
+        return Schedule(
+            compiled=self.compiled,
+            times_ms={var: t + delta_ms
+                      for var, t in self.times_ms.items()},
+            events=[ScheduledEvent(e.event, e.begin_ms + delta_ms,
+                                   e.end_ms + delta_ms)
+                    for e in self.events],
+            dropped_constraints=list(self.dropped_constraints),
+            solver_iterations=self.solver_iterations,
+        )
+
+
+def schedule_document(compiled: CompiledDocument, *,
+                      channel_serialization: bool = True,
+                      relaxation_policy: str = RELAX_DROP_LAST
+                      ) -> Schedule:
+    """Compile-to-timeline in one call: build constraints, solve, wrap.
+
+    This is the main scheduling entry point used by the player, viewer
+    and benches.
+    """
+    system = build_constraints(
+        compiled, channel_serialization=channel_serialization)
+    result = solve(system, relaxation_policy=relaxation_policy)
+    return make_schedule(compiled, system, result)
+
+
+def make_schedule(compiled: CompiledDocument, system: ConstraintSystem,
+                  result: SolverResult) -> Schedule:
+    """Wrap a solver result into a :class:`Schedule`."""
+    events: list[ScheduledEvent] = []
+    for event in compiled.events:
+        begin = result.times_ms[begin_var(event.node_path)]
+        end = result.times_ms[end_var(event.node_path)]
+        if not times_close(end - begin, event.duration_ms, 1e-3):
+            raise SchedulingConflict(
+                f"solver assigned {event.event_id} a span of "
+                f"{end - begin:g}ms but its duration is "
+                f"{event.duration_ms:g}ms")
+        events.append(ScheduledEvent(event, begin, end))
+    events.sort(key=lambda e: (e.begin_ms, e.end_ms, e.event.event_id))
+    return Schedule(
+        compiled=compiled,
+        times_ms=result.times_ms,
+        events=events,
+        dropped_constraints=result.dropped,
+        solver_iterations=result.iterations,
+    )

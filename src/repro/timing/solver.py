@@ -1,0 +1,232 @@
+"""The scheduling solver (paper sections 5.3.1 and 5.3.2).
+
+The constraint system produced by :mod:`repro.timing.constraints` is a
+system of difference constraints ``x - y >= w``.  With the root's begin
+anchored at zero ("the root node ... provides an implied timing reference
+point for all other nodes in the document"), the pointwise-minimal
+feasible assignment — the ASAP schedule, matching the paper's "start the
+successor as soon as possible" default — is the longest path from the
+root variable in the graph with an edge ``y -> x`` of weight ``w`` per
+constraint.
+
+The solver runs a queue-based Bellman-Ford (SPFA) longest-path relaxation.
+On the near-acyclic graphs real documents produce this costs close to
+O(E); the per-variable relaxation counter bounds it at O(V·E) and detects
+*positive cycles*, which are exactly the unsatisfiable constraint sets of
+conflict class (1) in section 5.3.3.
+
+When an infeasible cycle contains constraints from *may* arcs, the solver
+relaxes (drops) one of them and retries — implementing the paper's may
+semantics ("desirable but not essential").  Two relaxation policies are
+provided for the DESIGN.md ablation:
+
+* ``drop-last`` — drop the may constraint appearing latest in document
+  order (the author's most recent refinement yields first);
+* ``drop-widest`` — drop the may constraint whose window is widest (the
+  loosest preference yields first).
+
+Must constraints are never dropped; a cycle of must constraints raises
+:class:`~repro.core.errors.SchedulingConflict` carrying the cycle.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+
+from repro.core.errors import SchedulingConflict
+from repro.timing.constraints import (Constraint, ConstraintKind,
+                                      ConstraintSystem, TimeVar)
+
+#: Relaxation policies for may-arc conflicts (ablation axis).
+RELAX_DROP_LAST = "drop-last"
+RELAX_DROP_WIDEST = "drop-widest"
+RELAXATION_POLICIES = (RELAX_DROP_LAST, RELAX_DROP_WIDEST)
+
+
+@dataclass
+class SolverResult:
+    """The outcome of a (possibly relaxed) solve.
+
+    ``times_ms`` maps every variable to its ASAP time; ``dropped``
+    records the may constraints the solver had to relax, in the order
+    they were dropped; ``iterations`` counts the solve attempts (1 when
+    no relaxation was needed).
+    """
+
+    times_ms: dict[TimeVar, float]
+    dropped: list[Constraint] = field(default_factory=list)
+    iterations: int = 1
+
+    def time_of(self, var: TimeVar) -> float:
+        """The scheduled time of ``var`` in milliseconds."""
+        return self.times_ms[var]
+
+
+class _Infeasible(Exception):
+    """Internal: raised by one solve attempt with the offending cycle."""
+
+    def __init__(self, cycle: list[Constraint]) -> None:
+        super().__init__("positive cycle")
+        self.cycle = cycle
+
+
+def _solve_once(system: ConstraintSystem,
+                skipped: set[int]) -> dict[TimeVar, float]:
+    """One SPFA longest-path pass; raises :class:`_Infeasible` on a cycle.
+
+    ``skipped`` holds ids of constraints already relaxed away.
+    """
+    index = system.var_index
+    count = len(system.variables)
+    if system.root_begin is None:
+        raise SchedulingConflict("constraint system has no root anchor")
+    root = index[system.root_begin]
+
+    # Adjacency: for constraint var - base >= w, edge base -> var (w).
+    outgoing: list[list[tuple[int, float, Constraint]]] = [
+        [] for _ in range(count)]
+    for constraint in system.constraints:
+        if id(constraint) in skipped:
+            continue
+        outgoing[index[constraint.base]].append(
+            (index[constraint.var], constraint.weight_ms, constraint))
+    # The paper's implied arc with the root: "All nodes have an implied
+    # synchronization arc with the root node."  Every variable is at or
+    # after the root; materializing the edges (rather than relying on the
+    # initial distances) makes upper-bound chains that would push the
+    # root later show up as positive cycles, i.e. genuine conflicts.
+    root_var = system.root_begin
+    for var, i in index.items():
+        if i != root:
+            implied = Constraint(var, root_var, 0.0,
+                                 ConstraintKind.ROOT_ANCHOR,
+                                 note="implied arc with the root")
+            outgoing[root].append((i, 0.0, implied))
+
+    dist = [0.0] * count          # every event starts no earlier than root
+    predecessor: list[Constraint | None] = [None] * count
+    relax_count = [0] * count
+    in_queue = [False] * count
+    queue: collections.deque[int] = collections.deque(range(count))
+    for node in queue:
+        in_queue[node] = True
+    # Seed the root explicitly; its distance is the reference point 0.
+    dist[root] = 0.0
+
+    while queue:
+        here = queue.popleft()
+        in_queue[here] = False
+        base_dist = dist[here]
+        for target, weight, constraint in outgoing[here]:
+            candidate = base_dist + weight
+            if candidate > dist[target] + 1e-9:
+                dist[target] = candidate
+                predecessor[target] = constraint
+                relax_count[target] += 1
+                if relax_count[target] > count:
+                    raise _Infeasible(_trace_cycle(predecessor, target,
+                                                   index))
+                if not in_queue[target]:
+                    queue.append(target)
+                    in_queue[target] = True
+
+    return {var: dist[index[var]] for var in system.variables}
+
+
+def _trace_cycle(predecessor: list["Constraint | None"], start: int,
+                 index: dict[TimeVar, int]) -> list[Constraint]:
+    """Walk predecessor constraints back from ``start`` to extract a cycle."""
+    # Step back `len(index)` times to guarantee we are inside the cycle,
+    # then collect constraints until the first repeat.
+    var_of = {i: var for var, i in index.items()}
+    node = start
+    for _ in range(len(index)):
+        constraint = predecessor[node]
+        if constraint is None:
+            break
+        node = index[constraint.base]
+    cycle: list[Constraint] = []
+    seen: set[int] = set()
+    while node not in seen:
+        seen.add(node)
+        constraint = predecessor[node]
+        if constraint is None:
+            break
+        cycle.append(constraint)
+        node = index[constraint.base]
+    cycle.reverse()
+    return cycle or [c for c in predecessor if c is not None][:1]
+
+
+def _pick_relaxable(cycle: list[Constraint],
+                    policy: str) -> Constraint | None:
+    """Choose which may constraint in ``cycle`` to drop, per policy."""
+    candidates = [c for c in cycle if c.relaxable]
+    if not candidates:
+        return None
+    if policy == RELAX_DROP_WIDEST:
+        def width(constraint: Constraint) -> float:
+            arc = constraint.arc
+            if arc is None or arc.max_delay is None:
+                return float("inf")
+            return arc.max_delay.value - arc.min_delay.value
+        return max(candidates, key=width)
+    return candidates[-1]
+
+
+def solve(system: ConstraintSystem, *,
+          relaxation_policy: str = RELAX_DROP_LAST,
+          max_relaxations: int | None = None) -> SolverResult:
+    """Solve the system, relaxing may constraints as needed.
+
+    Raises :class:`SchedulingConflict` when a cycle of must constraints
+    remains; the exception's ``cycle`` lists the conflicting constraints
+    so authoring tools can report them (the paper's "CMIF plays a role in
+    signalling problems, allowing other mechanisms to provide
+    solutions").
+    """
+    if relaxation_policy not in RELAXATION_POLICIES:
+        raise SchedulingConflict(
+            f"unknown relaxation policy {relaxation_policy!r}; expected "
+            f"one of {RELAXATION_POLICIES}")
+    relaxable_total = sum(1 for c in system.constraints if c.relaxable)
+    budget = (relaxable_total if max_relaxations is None
+              else min(max_relaxations, relaxable_total))
+    skipped: set[int] = set()
+    dropped: list[Constraint] = []
+    iterations = 0
+    while True:
+        iterations += 1
+        try:
+            times = _solve_once(system, skipped)
+            return SolverResult(times_ms=times, dropped=dropped,
+                                iterations=iterations)
+        except _Infeasible as infeasible:
+            victim = _pick_relaxable(infeasible.cycle, relaxation_policy)
+            if victim is None or len(dropped) >= budget:
+                raise SchedulingConflict(
+                    "unsatisfiable synchronization constraints "
+                    "(conflict class 1, section 5.3.3): "
+                    + "; ".join(c.describe() for c in infeasible.cycle),
+                    cycle=infeasible.cycle) from None
+            skipped.add(id(victim))
+            dropped.append(victim)
+
+
+def check_solution(system: ConstraintSystem, times_ms: dict[TimeVar, float],
+                   *, epsilon: float = 1e-6) -> list[Constraint]:
+    """Return the constraints ``times_ms`` violates (empty when valid).
+
+    Used by property tests and by the player to audit a perturbed
+    (device-delayed) execution against the document's requirements.
+    """
+    violations: list[Constraint] = []
+    for constraint in system.constraints:
+        lhs = times_ms.get(constraint.var)
+        rhs = times_ms.get(constraint.base)
+        if lhs is None or rhs is None:
+            continue
+        if lhs - rhs < constraint.weight_ms - epsilon:
+            violations.append(constraint)
+    return violations

@@ -1,0 +1,24 @@
+"""Transport: environments, negotiation and document packaging.
+
+Implements the paper's transportability story: capability descriptions
+of target systems, the can-this-system-play-this-document determination,
+and the two document transport modes (structure-only, self-contained).
+"""
+
+from repro.transport.environments import (PERSONAL_SYSTEM, PROFILES,
+                                          SILENT_TERMINAL, SystemEnvironment,
+                                          WORKSTATION)
+from repro.transport.negotiate import (FILTERABLE, Finding,
+                                       NegotiationResult, PLAYABLE,
+                                       UNPLAYABLE, document_requirements,
+                                       negotiate)
+from repro.transport.package import (PACKAGE_VERSION, UnpackResult,
+                                     externals_to_immediates, pack, unpack)
+
+__all__ = [
+    "FILTERABLE", "Finding", "NegotiationResult", "PACKAGE_VERSION",
+    "PERSONAL_SYSTEM", "PLAYABLE", "PROFILES", "SILENT_TERMINAL",
+    "SystemEnvironment", "UNPLAYABLE", "UnpackResult", "WORKSTATION",
+    "document_requirements", "externals_to_immediates", "negotiate",
+    "pack", "unpack",
+]

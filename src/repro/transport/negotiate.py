@@ -1,0 +1,215 @@
+"""Document/environment capability negotiation (paper section 1).
+
+"What CMIF can provide ... is a structured basis upon which a given
+system can determine whether it can support the requested document or
+not."  :func:`negotiate` performs that determination from descriptors
+alone: it derives the document's requirements (media used, resolutions,
+rates, bandwidth, hard-synchronization tightness) and checks them
+against a :class:`~repro.transport.environments.SystemEnvironment`,
+returning a structured verdict with per-requirement findings.
+
+Three verdicts are possible, mirroring the pipeline's options:
+
+* ``playable`` — every requirement is met natively;
+* ``playable-with-filtering`` — unmet requirements can all be resolved
+  by the constraint-filter stage (colour reduction, scaling,
+  sub-sampling, channel merging);
+* ``unplayable`` — some requirement has no filter (a required medium is
+  entirely unsupported, or a must arc is tighter than the device
+  latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.channels import Medium
+from repro.core.document import CmifDocument
+from repro.core.errors import SyncArcError
+from repro.core.syncarc import Strictness
+from repro.core.tree import iter_preorder
+from repro.transport.environments import SystemEnvironment
+
+PLAYABLE = "playable"
+FILTERABLE = "playable-with-filtering"
+UNPLAYABLE = "unplayable"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One requirement check: what the document needs vs what exists."""
+
+    requirement: str
+    needed: str
+    available: str
+    satisfied: bool
+    filterable: bool = False
+
+    def __str__(self) -> str:
+        state = ("ok" if self.satisfied
+                 else "filterable" if self.filterable else "unmet")
+        return (f"{self.requirement}: needs {self.needed}, "
+                f"has {self.available} [{state}]")
+
+
+@dataclass
+class NegotiationResult:
+    """The structured verdict of a negotiation."""
+
+    environment: str
+    verdict: str
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True unless the document is unplayable."""
+        return self.verdict != UNPLAYABLE
+
+    def summary(self) -> str:
+        lines = [f"negotiation against {self.environment}: {self.verdict}"]
+        lines.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def document_requirements(document: CmifDocument) -> dict[str, object]:
+    """Derive a document's requirements from descriptors only.
+
+    Returns media set, maximum resolution, colour depth, frame and
+    sample rates, summed worst-case bandwidth, and the tightest must-arc
+    window per medium.
+    """
+    media: set[Medium] = set()
+    max_width = 0
+    max_height = 0
+    color_depth = 0
+    frame_rate = 0.0
+    sample_rate = 0.0
+    bandwidth = 0
+    compiled = document.compile()
+    for event in compiled.events:
+        media.add(event.medium)
+        descriptor = event.descriptor
+        if descriptor is None:
+            continue
+        resolution = descriptor.get("resolution")
+        if resolution:
+            width, height = resolution
+            max_width = max(max_width, int(width))
+            max_height = max(max_height, int(height))
+        color_depth = max(color_depth, int(descriptor.get("color-depth", 0)))
+        frame_rate = max(frame_rate, float(descriptor.get("frame-rate", 0.0)))
+        sample_rate = max(sample_rate,
+                          float(descriptor.get("sample-rate", 0.0)))
+        resources = descriptor.get("resources", {})
+        bandwidth += int(resources.get("bandwidth-bps", 0))
+    return {
+        "media": media,
+        "max_resolution": (max_width, max_height),
+        "color_depth": color_depth,
+        "frame_rate": frame_rate,
+        "sample_rate": sample_rate,
+        "bandwidth_bps": bandwidth,
+        "tightest_must_epsilon_ms": _tightest_must_window(document),
+    }
+
+
+def _tightest_must_window(document: CmifDocument) -> float | None:
+    """The smallest finite max-delay among must arcs, if any."""
+    tightest: float | None = None
+    for node in iter_preorder(document.root):
+        for arc in node.arcs:
+            if arc.strictness is not Strictness.MUST:
+                continue
+            try:
+                _delta, epsilon = arc.window_ms(document.timebase)
+            except SyncArcError:
+                continue
+            if epsilon is None:
+                continue
+            if tightest is None or epsilon < tightest:
+                tightest = epsilon
+    return tightest
+
+
+def negotiate(document: CmifDocument,
+              environment: SystemEnvironment) -> NegotiationResult:
+    """Check ``document`` against ``environment``; never raises."""
+    requirements = document_requirements(document)
+    findings: list[Finding] = []
+
+    for medium in sorted(requirements["media"], key=lambda m: m.value):
+        supported = environment.supports(medium)
+        findings.append(Finding(
+            requirement=f"medium:{medium.value}",
+            needed="supported",
+            available="supported" if supported else "unsupported",
+            satisfied=supported,
+            filterable=False,
+        ))
+
+    width, height = requirements["max_resolution"]
+    if width and height:
+        fits = (width <= environment.screen_width
+                and height <= environment.screen_height)
+        findings.append(Finding(
+            requirement="resolution",
+            needed=f"{width}x{height}",
+            available=(f"{environment.screen_width}x"
+                       f"{environment.screen_height}"),
+            satisfied=fits, filterable=True))
+
+    if requirements["color_depth"]:
+        deep_enough = requirements["color_depth"] <= environment.color_depth
+        findings.append(Finding(
+            requirement="color-depth",
+            needed=f"{requirements['color_depth']}-bit",
+            available=f"{environment.color_depth}-bit",
+            satisfied=deep_enough, filterable=True))
+
+    if requirements["frame_rate"]:
+        fast_enough = (requirements["frame_rate"]
+                       <= environment.max_frame_rate)
+        findings.append(Finding(
+            requirement="frame-rate",
+            needed=f"{requirements['frame_rate']:g}fps",
+            available=f"{environment.max_frame_rate:g}fps",
+            satisfied=fast_enough, filterable=True))
+
+    if requirements["sample_rate"]:
+        enough = requirements["sample_rate"] <= environment.max_sample_rate
+        findings.append(Finding(
+            requirement="sample-rate",
+            needed=f"{requirements['sample_rate']:g}Hz",
+            available=f"{environment.max_sample_rate:g}Hz",
+            satisfied=enough,
+            filterable=environment.has_audio))
+
+    if requirements["bandwidth_bps"]:
+        enough = requirements["bandwidth_bps"] <= environment.bandwidth_bps
+        findings.append(Finding(
+            requirement="bandwidth",
+            needed=f"{requirements['bandwidth_bps']}bps",
+            available=f"{environment.bandwidth_bps}bps",
+            satisfied=enough, filterable=True))
+
+    tightest = requirements["tightest_must_epsilon_ms"]
+    if tightest is not None:
+        worst_latency = max(
+            (environment.latency_for(m) for m in requirements["media"]),
+            default=0.0)
+        meets = worst_latency <= tightest
+        findings.append(Finding(
+            requirement="must-sync-tightness",
+            needed=f"start latency <= {tightest:g}ms",
+            available=f"worst latency {worst_latency:g}ms",
+            satisfied=meets, filterable=False))
+
+    if all(finding.satisfied for finding in findings):
+        verdict = PLAYABLE
+    elif all(finding.satisfied or finding.filterable
+             for finding in findings):
+        verdict = FILTERABLE
+    else:
+        verdict = UNPLAYABLE
+    return NegotiationResult(environment=environment.name, verdict=verdict,
+                             findings=findings)

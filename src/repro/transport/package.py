@@ -1,0 +1,254 @@
+"""Transportable document packaging (paper sections 5.1 and 6).
+
+Two transport modes, straight from the paper:
+
+* **Structure-only** — "The tree is a human-readable document that can be
+  passed from one location to another with or without the underlying
+  data."  :func:`pack` with ``embed_data=False`` ships the document text
+  and descriptor attributes only; the receiver resolves blocks through
+  its own (distributed) store.
+* **Self-contained** — immediate nodes are "useful ... for transporting
+  (large amounts of) data across environments that have no common
+  storage server."  ``embed_data=True`` additionally carries payloads,
+  hex-encoded and checksummed; :func:`externals_to_immediates` goes
+  further and rewrites external nodes into immediate nodes for text
+  media so even the document itself needs no store.
+
+The container is a single JSON object (versioned, checksummed) — the
+1991 equivalent would have been a tar of the text form; JSON keeps the
+package single-file and testable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.channels import Medium
+from repro.core.descriptors import DataBlock, DataDescriptor
+from repro.core.document import CmifDocument
+from repro.core.errors import TransportError
+from repro.core.nodes import ExtNode, ImmNode, NodeKind
+from repro.core.paths import node_path
+from repro.core.tree import iter_preorder
+from repro.format.json_io import value_from_obj, value_to_obj
+from repro.format.parser import parse_document
+from repro.format.writer import write_document
+from repro.store.datastore import DataStore
+
+PACKAGE_VERSION = 1
+
+
+@dataclass
+class UnpackResult:
+    """A received package: the document plus a freshly-populated store."""
+
+    document: CmifDocument
+    store: DataStore
+    embedded_blocks: int
+    verified_checksums: int
+
+
+def pack(document: CmifDocument, store: DataStore | None = None, *,
+         embed_data: bool = False, strict: bool = True) -> str:
+    """Serialize a document (and optionally its data) into a package.
+
+    Descriptors referenced by the document's ``file`` attributes are
+    always included (they are the "relatively small clusters of data" the
+    paper wants to travel); payload blocks are included only with
+    ``embed_data`` and only when the store holds them.  With ``strict``
+    (the default) an unresolvable ``file`` reference fails the packing;
+    ``strict=False`` ships the structure anyway — the paper allows a
+    tree to travel "with or without the underlying data".
+    """
+    text = write_document(document)
+    descriptors: dict[str, dict] = {}
+    blocks: dict[str, dict] = {}
+    for file_id, descriptor in _referenced_descriptors(document, store,
+                                                       strict):
+        descriptors[file_id] = _descriptor_to_obj(descriptor)
+        if embed_data and store is not None \
+                and descriptor.block_id is not None \
+                and store.has_block(descriptor.block_id):
+            block = store.block_for(descriptor.descriptor_id)
+            blocks[block.block_id] = _block_to_obj(block)
+    payload = {
+        "cmif-package": {
+            "version": PACKAGE_VERSION,
+            "document": text,
+            "descriptors": descriptors,
+            "blocks": blocks,
+        }
+    }
+    return json.dumps(payload, indent=1)
+
+
+def _referenced_descriptors(document: CmifDocument,
+                            store: DataStore | None,
+                            strict: bool = True):
+    """Yield (file_id, descriptor) for every resolvable file reference."""
+    seen: set[str] = set()
+    styles = document.styles_or_none()
+    for node in iter_preorder(document.root):
+        if node.kind is not NodeKind.EXT:
+            continue
+        file_id = node.effective("file", styles=styles)
+        if file_id is None or file_id in seen:
+            continue
+        seen.add(file_id)
+        descriptor = document.resolve_descriptor(file_id)
+        if descriptor is None and store is not None \
+                and file_id in store:
+            descriptor = store.descriptor(file_id)
+        if descriptor is None:
+            if strict:
+                raise TransportError(
+                    f"cannot package {node_path(node)}: file {file_id!r} "
+                    f"has no descriptor in the document or the store")
+            continue
+        yield file_id, descriptor
+
+
+def _descriptor_to_obj(descriptor: DataDescriptor) -> dict:
+    return {
+        "descriptor_id": descriptor.descriptor_id,
+        "medium": descriptor.medium.value,
+        "block_id": descriptor.block_id,
+        "attributes": {name: value_to_obj(value)
+                       for name, value in descriptor.attributes.items()},
+    }
+
+
+def _descriptor_from_obj(obj: dict) -> DataDescriptor:
+    return DataDescriptor(
+        descriptor_id=obj["descriptor_id"],
+        medium=Medium.from_name(obj["medium"]),
+        block_id=obj.get("block_id"),
+        attributes={name: value_from_obj(value)
+                    for name, value in (obj.get("attributes") or {}).items()},
+    )
+
+
+def _block_to_obj(block: DataBlock) -> dict:
+    data = block.materialize()
+    if isinstance(data, str):
+        encoded = data.encode("utf-8").hex()
+        encoding = "utf-8"
+    elif isinstance(data, (bytes, bytearray)):
+        encoded = bytes(data).hex()
+        encoding = "bytes"
+    else:
+        # Array payloads (audio/video/image) travel as raw bytes plus a
+        # shape note; numpy is reconstructed on unpack.
+        import numpy as np
+        array = np.asarray(data)
+        encoded = array.tobytes().hex()
+        encoding = f"ndarray:{array.dtype}:" + ",".join(
+            str(dim) for dim in array.shape)
+    return {
+        "block_id": block.block_id,
+        "medium": block.medium.value,
+        "encoding": encoding,
+        "data": encoded,
+        "checksum": block.checksum(),
+    }
+
+
+def _block_from_obj(obj: dict) -> DataBlock:
+    encoding = obj["encoding"]
+    raw = bytes.fromhex(obj["data"])
+    if encoding == "utf-8":
+        payload: object = raw.decode("utf-8")
+    elif encoding == "bytes":
+        payload = raw
+    elif encoding.startswith("ndarray:"):
+        import numpy as np
+        _, dtype, shape_text = encoding.split(":", 2)
+        shape = tuple(int(dim) for dim in shape_text.split(","))
+        payload = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    else:
+        raise TransportError(f"unknown block encoding {encoding!r}")
+    return DataBlock(block_id=obj["block_id"],
+                     medium=Medium.from_name(obj["medium"]),
+                     payload=payload)
+
+
+def unpack(package_text: str, *, verify: bool = True) -> UnpackResult:
+    """Open a package: parse the document, rebuild a store, verify sums."""
+    try:
+        payload = json.loads(package_text)
+    except json.JSONDecodeError as exc:
+        raise TransportError(f"corrupt package: {exc}") from None
+    body = payload.get("cmif-package")
+    if not isinstance(body, dict):
+        raise TransportError("not a CMIF package (missing 'cmif-package')")
+    if body.get("version") != PACKAGE_VERSION:
+        raise TransportError(
+            f"unsupported package version {body.get('version')!r}")
+    document = parse_document(body["document"])
+    store = DataStore(name="unpacked")
+    blocks = {block_id: _block_from_obj(obj)
+              for block_id, obj in (body.get("blocks") or {}).items()}
+    verified = 0
+    if verify:
+        for block_id, obj in (body.get("blocks") or {}).items():
+            actual = blocks[block_id].checksum()
+            if actual != obj["checksum"]:
+                raise TransportError(
+                    f"checksum mismatch for block {block_id!r}: the "
+                    f"package was corrupted in transport")
+            verified += 1
+    for file_id, obj in (body.get("descriptors") or {}).items():
+        descriptor = _descriptor_from_obj(obj)
+        block = blocks.get(descriptor.block_id) \
+            if descriptor.block_id else None
+        store.register(descriptor, block)
+        document.register_descriptor(file_id, descriptor)
+    return UnpackResult(document=document, store=store,
+                        embedded_blocks=len(blocks),
+                        verified_checksums=verified)
+
+
+def externals_to_immediates(document: CmifDocument,
+                            store: DataStore) -> int:
+    """Rewrite text external nodes into immediate nodes, in place.
+
+    This is the paper's no-common-storage-server transport: small text
+    payloads move into the document itself.  Non-text media stay
+    external (embedding pixels in a human-readable document defeats its
+    purpose); they travel via ``pack(embed_data=True)`` instead.
+    Returns the number of nodes rewritten.
+    """
+    rewritten = 0
+    styles = document.styles_or_none()
+    for node in list(iter_preorder(document.root)):
+        if node.kind is not NodeKind.EXT:
+            continue
+        file_id = node.effective("file", styles=styles)
+        if file_id is None:
+            continue
+        descriptor = document.resolve_descriptor(file_id)
+        if descriptor is None and file_id in store:
+            descriptor = store.descriptor(file_id)
+        if descriptor is None or descriptor.medium is not Medium.TEXT:
+            continue
+        if descriptor.block_id is None \
+                or not store.has_block(descriptor.block_id):
+            continue
+        block = store.block_for(descriptor.descriptor_id)
+        parent = node.parent
+        if parent is None:
+            continue
+        replacement = ImmNode(None, None, str(block.materialize()))
+        for attribute in node.attributes:
+            if attribute.name == "file":
+                continue
+            value = attribute.value
+            replacement.attributes.set(
+                attribute.name, list(value) if isinstance(value, list)
+                else value)
+        index = parent.index_of(node)
+        parent.detach(node)
+        parent.insert(index, replacement)
+        rewritten += 1
+    return rewritten

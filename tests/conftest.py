@@ -1,0 +1,54 @@
+"""Shared fixtures for the CMIF test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DocumentBuilder, MediaTime
+from repro.corpus import make_news_document, make_paintings_fragment
+from repro.timing import schedule_document
+
+
+@pytest.fixture(scope="session")
+def fragment_corpus():
+    """The figure-10 paintings story as its own document (read-only)."""
+    return make_paintings_fragment()
+
+
+@pytest.fixture(scope="session")
+def news_corpus():
+    """A full 2-generic-story news broadcast plus the paintings story."""
+    return make_news_document(stories=2)
+
+
+@pytest.fixture(scope="session")
+def fragment_schedule(fragment_corpus):
+    """The solved schedule of the paintings fragment."""
+    return schedule_document(fragment_corpus.document.compile())
+
+
+@pytest.fixture()
+def simple_builder():
+    """A builder with one video and one text channel pre-declared."""
+    builder = DocumentBuilder("test-doc")
+    builder.channel("video", "video")
+    builder.channel("caption", "text")
+    return builder
+
+
+def build_par_pair(duration_a_ms: float = 4000.0,
+                   duration_b_ms: float = 2000.0):
+    """A tiny document: par(video event, caption event).
+
+    Used by many scheduling tests; returns (document, video node,
+    caption node).
+    """
+    builder = DocumentBuilder("pair")
+    builder.channel("video", "video")
+    builder.channel("caption", "text")
+    with builder.par("scene"):
+        video = builder.imm("clip", channel="video", data="v",
+                            duration=MediaTime.ms(duration_a_ms))
+        caption = builder.imm("text", channel="caption", data="c",
+                              duration=MediaTime.ms(duration_b_ms))
+    return builder.build(), video, caption, builder

@@ -1,0 +1,190 @@
+"""End-to-end attribute semantics (paper section 5.2).
+
+These tests exercise attribute behaviour through the *whole* stack —
+styles into inheritance into compilation into events — rather than per
+module, pinning the interactions the paper describes: styles as
+shorthand, inheritance across arbitrary depth, the t-formatting
+shorthand reaching the text channel, and free attributes passing
+through untouched ("it simply allows them to be passed on to the
+required system tools").
+"""
+
+import pytest
+
+from repro.core import DocumentBuilder, MediaTime
+from repro.format.parser import parse_document
+from repro.format.writer import write_document
+from repro.timing import schedule_document
+
+
+def build_styled_document():
+    builder = DocumentBuilder("styled")
+    builder.channel("caption", "text")
+    builder.channel("video", "video")
+    builder.style("body-text",
+                  **{"t-formatting": {"font": "times", "size": 12}})
+    builder.style("caption-style", style=("body-text",),
+                  channel="caption",
+                  **{"t-formatting": {"font": "helvetica", "size": 14}})
+    with builder.seq("track", style=("caption-style",)):
+        builder.imm("c1", data="first caption")
+        builder.imm("c2", data="second caption",
+                    **{"t-formatting": {"size": 20}})
+        builder.imm("v1", channel="video", medium="video", data="x",
+                    duration=MediaTime.seconds(1))
+    return builder.build()
+
+
+class TestStyleDrivenCompilation:
+    def test_channel_via_ancestor_style(self):
+        """A style on an ancestor supplies the inherited channel."""
+        document = build_styled_document()
+        compiled = document.compile()
+        c1 = next(e for e in compiled.events
+                  if e.node_path == "/track/c1")
+        assert c1.channel == "caption"
+
+    def test_style_chain_overrides(self):
+        """caption-style's own t-formatting wins over its parent's."""
+        document = build_styled_document()
+        expanded = document.styles.expand("caption-style")
+        assert expanded["t-formatting"] == {"font": "helvetica",
+                                            "size": 14}
+
+    def test_own_attribute_beats_style(self):
+        document = build_styled_document()
+        compiled = document.compile()
+        c2 = next(e for e in compiled.events
+                  if e.node_path == "/track/c2")
+        assert c2.attributes["t-formatting"] == {"size": 20}
+
+    def test_explicit_channel_beats_inherited_style(self):
+        document = build_styled_document()
+        compiled = document.compile()
+        v1 = next(e for e in compiled.events
+                  if e.node_path == "/track/v1")
+        assert v1.channel == "video"
+
+    def test_styles_survive_serialization(self):
+        document = build_styled_document()
+        restored = parse_document(write_document(document))
+        assert restored.styles.expand("caption-style")["channel"] == \
+            "caption"
+        compiled = restored.compile()
+        c1 = next(e for e in compiled.events
+                  if e.node_path == "/track/c1")
+        assert c1.channel == "caption"
+
+
+class TestFreeAttributes:
+    def test_free_attributes_reach_events(self):
+        """Uninterpreted attributes pass through to the tools."""
+        builder = DocumentBuilder("free")
+        builder.channel("c", "text")
+        builder.imm("x", channel="c", data="d", duration=100,
+                    **{"copyright": "CWI 1991", "revision": 3})
+        document = builder.build()
+        event = document.compile().events[0]
+        assert event.attributes["copyright"] == "CWI 1991"
+        assert event.attributes["revision"] == 3
+
+    def test_free_attributes_round_trip(self):
+        builder = DocumentBuilder("free")
+        builder.channel("c", "text")
+        builder.imm("x", channel="c", data="d", duration=100,
+                    **{"copyright": "CWI 1991"})
+        document = builder.build()
+        restored = parse_document(write_document(document))
+        node = restored.root.child_named("x")
+        assert node.attributes.get("copyright") == "CWI 1991"
+
+
+class TestMediaUnitArcs:
+    def test_frame_unit_offset_through_scheduling(self):
+        """Offsets 'may be expressed in media-dependent units': an arc
+        offset in frames resolves through the document's frame rate."""
+        from repro.core.timebase import TimeBase
+        builder = DocumentBuilder("frames",
+                                  timebase=TimeBase(frame_rate=50.0))
+        builder.channel("v", "video")
+        builder.channel("c", "text")
+        with builder.par("scene"):
+            builder.imm("clip", channel="v", medium="video", data="x",
+                        duration=MediaTime.seconds(10))
+            cap = builder.imm("cap", channel="c", data="y",
+                              duration=MediaTime.seconds(1))
+        document = builder.build()
+        builder.arc(cap, source="../clip", destination=".",
+                    offset=MediaTime.frames(100))  # 2s at 50fps
+        schedule = schedule_document(document.compile())
+        assert schedule.event_for_path("/scene/cap").begin_ms == \
+            pytest.approx(2000.0)
+
+    def test_sample_unit_duration(self):
+        from repro.core.timebase import TimeBase
+        builder = DocumentBuilder("samples",
+                                  timebase=TimeBase(sample_rate=8000.0))
+        builder.channel("a", "audio")
+        builder.imm("tone", channel="a", medium="audio", data="x",
+                    duration=MediaTime.samples(4000))
+        document = builder.build()
+        event = document.compile().events[0]
+        assert event.duration_ms == pytest.approx(500.0)
+
+    def test_timebase_rates_travel_with_document(self):
+        from repro.core.timebase import TimeBase
+        builder = DocumentBuilder("rates",
+                                  timebase=TimeBase(frame_rate=30.0))
+        builder.channel("v", "video")
+        builder.imm("clip", channel="v", medium="video", data="x",
+                    duration=MediaTime.frames(30))
+        document = builder.build()
+        restored = parse_document(write_document(document))
+        assert restored.timebase.frame_rate == 30.0
+        event = restored.compile().events[0]
+        assert event.duration_ms == pytest.approx(1000.0)
+
+
+class TestFormatRobustness:
+    def test_unicode_data_round_trips(self):
+        builder = DocumentBuilder("unicode")
+        builder.channel("c", "text")
+        builder.imm("cap", channel="c", duration=100,
+                    data="Gestolen schilderijen — tien miljoen ƒ")
+        document = builder.build()
+        restored = parse_document(write_document(document))
+        assert restored.root.child_named("cap").data == \
+            "Gestolen schilderijen — tien miljoen ƒ"
+
+    def test_comments_and_whitespace_tolerated(self):
+        text = """
+        ; a hand-written CMIF document
+        (cmif (version 1)
+          (seq (attributes (name "doc")
+                 (channel-dictionary (c (medium "text"))))
+            ; the only event
+            (imm (attributes (name "x") (channel "c")
+                   (duration (time 1 s)))
+              "hello")))
+        """
+        document = parse_document(text)
+        assert document.compile().events[0].duration_ms == 1000.0
+
+    def test_hand_written_arc(self):
+        text = """
+        (cmif (version 1)
+          (seq (attributes (channel-dictionary (c (medium "text"))
+                             (d (medium "text"))))
+            (par (attributes (name "scene"))
+              (imm (attributes (name "a") (channel "c")
+                     (duration (time 2 s))) "a")
+              (imm (attributes (name "b") (channel "d")
+                     (duration (time 1 s))
+                     (sync-arc (type begin must) (source "../a")
+                       (offset (time 500 ms)) (dest ".")
+                       (min (time 0 ms)) (max inf)))
+                "b"))))
+        """
+        document = parse_document(text)
+        schedule = schedule_document(document.compile())
+        assert schedule.event_for_path("/scene/b").begin_ms == 500.0

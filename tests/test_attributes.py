@@ -1,0 +1,130 @@
+"""Unit tests for attribute lists and the registry (repro.core.attributes)."""
+
+import pytest
+
+from repro.core.attributes import (ALL_NODE_KINDS, Attribute, AttributeList,
+                                   STANDARD_ATTRIBUTES, spec_for)
+from repro.core.errors import AttributeError_, ValueError_
+from repro.core.timebase import MediaTime
+
+
+class TestRegistry:
+    def test_figure7_attributes_present(self):
+        """Every representative attribute of paper figure 7 is registered."""
+        for name in ("name", "style-dictionary", "style",
+                     "channel-dictionary", "channel", "file",
+                     "t-formatting", "slice", "crop", "clip"):
+            assert name in STANDARD_ATTRIBUTES, name
+
+    def test_inheritance_flags_match_figure7(self):
+        """channel and file inherit; name and style do not."""
+        assert STANDARD_ATTRIBUTES["channel"].inherited
+        assert STANDARD_ATTRIBUTES["file"].inherited
+        assert not STANDARD_ATTRIBUTES["name"].inherited
+        assert not STANDARD_ATTRIBUTES["style"].inherited
+
+    def test_root_only_flags(self):
+        assert STANDARD_ATTRIBUTES["style-dictionary"].root_only
+        assert STANDARD_ATTRIBUTES["channel-dictionary"].root_only
+        assert not STANDARD_ATTRIBUTES["channel"].root_only
+
+    def test_placement_restrictions(self):
+        assert STANDARD_ATTRIBUTES["slice"].node_kinds == frozenset({"ext"})
+        assert "imm" in STANDARD_ATTRIBUTES["clip"].node_kinds
+        assert STANDARD_ATTRIBUTES["name"].node_kinds == ALL_NODE_KINDS
+
+    def test_sync_arc_is_repeatable(self):
+        assert STANDARD_ATTRIBUTES["sync-arc"].repeatable_value
+
+    def test_every_spec_has_description(self):
+        for spec in STANDARD_ATTRIBUTES.values():
+            assert spec.description.strip(), spec.name
+
+    def test_spec_for_unknown_returns_none(self):
+        assert spec_for("my-custom-attribute") is None
+
+
+class TestAttribute:
+    def test_standard_value_validated(self):
+        with pytest.raises(ValueError_):
+            Attribute("name", "has spaces")
+
+    def test_free_attribute_unvalidated(self):
+        """The paper: CMIF does not interpret non-standard attributes."""
+        attribute = Attribute("my-anything", object())
+        assert attribute.spec is None
+
+    def test_duration_accepts_bare_ms(self):
+        attribute = Attribute("duration", 500)
+        assert isinstance(attribute.value, MediaTime)
+        assert attribute.value.value == 500.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AttributeError_):
+            Attribute("", 1)
+
+
+class TestAttributeList:
+    def test_names_unique_set_overwrites(self):
+        """'Each name may occur at most once in each list'."""
+        attributes = AttributeList()
+        attributes.set("channel", "video")
+        attributes.set("channel", "audio")
+        assert len(attributes) == 1
+        assert attributes.get("channel") == "audio"
+
+    def test_declaration_order_preserved(self):
+        attributes = AttributeList()
+        for name in ("title", "channel", "file"):
+            attributes.set(name, "x" if name != "channel" else "video")
+        assert attributes.names() == ["title", "channel", "file"]
+
+    def test_require_raises_on_missing(self):
+        with pytest.raises(AttributeError_):
+            AttributeList().require("channel")
+
+    def test_get_default(self):
+        assert AttributeList().get("channel", "fallback") == "fallback"
+
+    def test_remove_is_idempotent(self):
+        attributes = AttributeList({"title": "x"})
+        attributes.remove("title")
+        attributes.remove("title")
+        assert "title" not in attributes
+
+    def test_append_value_on_repeatable(self):
+        from repro.core.syncarc import SyncArc
+        attributes = AttributeList()
+        attributes.append_value("sync-arc", SyncArc("a", "b"))
+        attributes.append_value("sync-arc", SyncArc("c", "d"))
+        assert len(attributes.get("sync-arc")) == 2
+
+    def test_append_value_on_plain_attribute_rejected(self):
+        attributes = AttributeList()
+        with pytest.raises(AttributeError_):
+            attributes.append_value("channel", "video")
+
+    def test_copy_is_independent(self):
+        from repro.core.syncarc import SyncArc
+        original = AttributeList({"title": "x"})
+        original.append_value("sync-arc", SyncArc("a", "b"))
+        clone = original.copy()
+        clone.set("title", "y")
+        clone.append_value("sync-arc", SyncArc("c", "d"))
+        assert original.get("title") == "x"
+        assert len(original.get("sync-arc")) == 1
+
+    def test_as_dict_snapshot(self):
+        attributes = AttributeList({"title": "x", "channel": "video"})
+        snapshot = attributes.as_dict()
+        assert snapshot == {"title": "x", "channel": "video"}
+
+    def test_constructor_from_dict(self):
+        attributes = AttributeList({"channel": "video"})
+        assert attributes.get("channel") == "video"
+
+    def test_iteration_yields_attributes(self):
+        attributes = AttributeList({"title": "x"})
+        items = list(attributes)
+        assert len(items) == 1
+        assert items[0].name == "title"

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.format.writer import write_document
+
+
+@pytest.fixture(scope="module")
+def news_text_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "news.cmif"
+    assert main(["news", "--stories", "1", "-o", str(path)]) == 0
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def news_package_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "news.cmifpkg"
+    assert main(["news", "--stories", "1", "--package",
+                 "-o", str(path)]) == 0
+    return str(path)
+
+
+class TestNewsCommand:
+    def test_emits_parseable_text(self, news_text_file, capsys):
+        from repro.format.parser import parse_document
+        from pathlib import Path
+        document = parse_document(Path(news_text_file).read_text())
+        assert document.root.name == "evening-news"
+
+    def test_package_carries_descriptors(self, news_package_file):
+        from pathlib import Path
+        payload = json.loads(Path(news_package_file).read_text())
+        assert payload["cmif-package"]["descriptors"]
+
+    def test_prints_to_stdout_without_output(self, capsys):
+        assert main(["news", "--stories", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("(cmif")
+
+
+class TestValidate:
+    def test_valid_package(self, news_package_file, capsys):
+        assert main(["validate", news_package_file]) == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_text_form_warns_but_validates(self, news_text_file, capsys):
+        assert main(["validate", news_text_file]) == 0
+        out = capsys.readouterr().out
+        assert "unresolved-descriptor" in out
+
+    def test_invalid_document_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cmif"
+        bad.write_text('(cmif (version 1) (seq (imm (attributes '
+                       '(channel "ghost")) "x")))')
+        assert main(["validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_missing_file_is_error_2(self, capsys):
+        assert main(["validate", "/nonexistent.cmif"]) == 2
+
+    def test_unparseable_file_is_error_2(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.cmif"
+        bad.write_text("(((")
+        assert main(["validate", str(bad)]) == 2
+
+
+class TestViews:
+    def test_show_tree(self, news_package_file, capsys):
+        assert main(["show", news_package_file]) == 0
+        assert "story-paintings" in capsys.readouterr().out
+
+    def test_show_embedded(self, news_package_file, capsys):
+        assert main(["show", news_package_file,
+                     "--form", "embedded"]) == 0
+        assert "+--" in capsys.readouterr().out
+
+    def test_show_summary(self, news_package_file, capsys):
+        assert main(["show", news_package_file,
+                     "--form", "summary"]) == 0
+        assert "channels:" in capsys.readouterr().out
+
+    def test_schedule(self, news_package_file, capsys):
+        assert main(["schedule", news_package_file]) == 0
+        out = capsys.readouterr().out
+        assert "scheduled span" in out
+        assert "time" in out
+
+    def test_arcs(self, news_package_file, capsys):
+        assert main(["arcs", news_package_file]) == 0
+        assert "begin/must" in capsys.readouterr().out
+
+
+class TestPlayAndNegotiate:
+    def test_play_on_workstation_succeeds(self, news_package_file,
+                                          capsys):
+        assert main(["play", news_package_file,
+                     "--environment", "workstation"]) == 0
+        assert "must arcs violated: 0" in capsys.readouterr().out
+
+    def test_play_on_personal_system_fails(self, news_package_file,
+                                           capsys):
+        assert main(["play", news_package_file,
+                     "--environment", "personal-system"]) == 1
+
+    def test_play_with_prefetch_rescues(self, news_package_file, capsys):
+        assert main(["play", news_package_file,
+                     "--environment", "personal-system",
+                     "--prefetch", "100"]) == 0
+
+    def test_negotiate_verdicts(self, news_package_file, capsys):
+        assert main(["negotiate", news_package_file,
+                     "--environment", "workstation"]) == 0
+        assert main(["negotiate", news_package_file,
+                     "--environment", "silent-terminal"]) == 1
+
+
+class TestPackUnpack:
+    def test_round_trip(self, news_package_file, tmp_path, capsys):
+        packed = tmp_path / "repacked.cmifpkg"
+        assert main(["pack", news_package_file, "-o", str(packed)]) == 0
+        unpacked = tmp_path / "unpacked.cmif"
+        assert main(["unpack", str(packed), "-o", str(unpacked)]) == 0
+        from repro.format.parser import parse_document
+        document = parse_document(unpacked.read_text())
+        assert document.root.name == "evening-news"

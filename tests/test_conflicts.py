@@ -1,0 +1,163 @@
+"""Unit tests for the three conflict classes (repro.timing.conflicts).
+
+Paper section 5.3.3 distinguishes authoring conflicts, device
+conflicts, and navigation conflicts; each gets its own detection path.
+"""
+
+import pytest
+
+from repro.core.builder import DocumentBuilder
+from repro.core.errors import SchedulingConflict
+from repro.core.timebase import MediaTime
+from repro.timing.conflicts import (AUTHORING, DEVICE, NAVIGATION,
+                                    common_ancestor_of_arc,
+                                    detect_device_conflicts,
+                                    diagnose_authoring,
+                                    invalid_arcs_after_seek)
+from repro.timing.constraints import build_constraints
+from repro.timing.schedule import schedule_document
+from repro.timing.solver import solve
+
+
+def arc_doc(max_delay_ms=0.0, strictness="must"):
+    """par(a, b) with an arc a->b carrying the given window."""
+    builder = DocumentBuilder("doc")
+    builder.channel("v", "video")
+    builder.channel("c", "text")
+    with builder.par("scene"):
+        builder.imm("a", channel="v", data="x", duration=2000)
+        b = builder.imm("b", channel="c", data="y", duration=1000)
+    document = builder.build()
+    builder.arc(b, source="../a", destination=".",
+                strictness=strictness,
+                max_delay=MediaTime.ms(max_delay_ms))
+    return document
+
+
+class TestAuthoringConflicts:
+    def test_diagnose_produces_per_constraint_reports(self):
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("track", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            b = builder.imm("b", data="y", duration=1000)
+        document = builder.build()
+        builder.arc(b, source="../a", destination=".",
+                    max_delay=MediaTime.ms(100))
+        with pytest.raises(SchedulingConflict) as info:
+            solve(build_constraints(document.compile()))
+        reports = diagnose_authoring(info.value)
+        assert reports
+        assert all(report.conflict_class == AUTHORING
+                   for report in reports)
+
+    def test_diagnose_without_cycle_still_reports(self):
+        reports = diagnose_authoring(SchedulingConflict("boom"))
+        assert len(reports) == 1
+        assert reports[0].conflict_class == AUTHORING
+
+
+class TestDeviceConflicts:
+    def test_tight_must_arc_vs_slow_channel(self):
+        document = arc_doc(max_delay_ms=10.0, strictness="must")
+        reports = detect_device_conflicts(
+            document.compile(), {"c": 50.0, "v": 0.0})
+        assert len(reports) == 1
+        assert reports[0].conflict_class == DEVICE
+        assert reports[0].severity == "error"
+
+    def test_may_arc_downgrades_to_warning(self):
+        document = arc_doc(max_delay_ms=10.0, strictness="may")
+        reports = detect_device_conflicts(
+            document.compile(), {"c": 50.0, "v": 0.0})
+        assert reports[0].severity == "warning"
+
+    def test_fast_channel_passes(self):
+        document = arc_doc(max_delay_ms=100.0)
+        assert detect_device_conflicts(
+            document.compile(), {"c": 50.0, "v": 0.0}) == []
+
+    def test_unbounded_arc_never_conflicts(self):
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.par("scene", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            b = builder.imm("b", data="y", duration=1000)
+        document = builder.build()
+        builder.arc(b, source="../a", destination=".", max_delay=None)
+        assert detect_device_conflicts(
+            document.compile(), {"v": 10_000.0}) == []
+
+
+class TestNavigationConflicts:
+    def test_seek_past_source_invalidates_arc(self):
+        """'The source of the arc must execute in order for a
+        synchronization condition to be true.'"""
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("track", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            builder.imm("filler", data="f", duration=5000)
+            c = builder.imm("c", data="z", duration=1000)
+        document = builder.build()
+        builder.arc(c, source="../a", destination=".",
+                    src_anchor="end", max_delay=None)
+        schedule = schedule_document(document.compile())
+        # Seek to 3000ms: 'a' (ends 1000) never executed; 'c' (begins
+        # 6000) is still to come -> the arc is invalid.
+        reports = invalid_arcs_after_seek(schedule, 3000.0)
+        assert len(reports) == 1
+        assert reports[0].conflict_class == NAVIGATION
+
+    def test_seek_before_source_is_fine(self):
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("track", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            c = builder.imm("c", data="z", duration=1000)
+        document = builder.build()
+        builder.arc(c, source="../a", destination=".", max_delay=None)
+        schedule = schedule_document(document.compile())
+        assert invalid_arcs_after_seek(schedule, 500.0) == []
+
+    def test_seek_past_both_is_fine(self):
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("track", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            c = builder.imm("c", data="z", duration=1000)
+            builder.imm("tail", data="t", duration=5000)
+        document = builder.build()
+        builder.arc(c, source="../a", destination=".", max_delay=None)
+        schedule = schedule_document(document.compile())
+        assert invalid_arcs_after_seek(schedule, 4000.0) == []
+
+    def test_may_arc_gives_warning(self):
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("track", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            builder.imm("filler", data="f", duration=5000)
+            c = builder.imm("c", data="z", duration=1000)
+        document = builder.build()
+        builder.arc(c, source="../a", destination=".",
+                    strictness="may", max_delay=None)
+        schedule = schedule_document(document.compile())
+        reports = invalid_arcs_after_seek(schedule, 3000.0)
+        assert reports[0].severity == "warning"
+
+
+class TestCommonAncestorTrace:
+    def test_trace_finds_covering_node(self):
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.par("scene"):
+            with builder.seq("left", channel="v"):
+                builder.imm("a", data="x", duration=100)
+            with builder.seq("right", channel="v"):
+                b = builder.imm("b", data="y", duration=100)
+        document = builder.build()
+        arc = builder.arc(b, source="../../left/a", destination=".",
+                          max_delay=None)
+        ancestor = common_ancestor_of_arc(b, arc)
+        assert ancestor.name == "scene"

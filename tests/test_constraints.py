@@ -1,0 +1,164 @@
+"""Unit tests for constraint building (repro.timing.constraints)."""
+
+import pytest
+
+from repro.core.builder import DocumentBuilder
+from repro.core.timebase import MediaTime
+from repro.timing.constraints import (ConstraintKind, TimeVar, VarKind,
+                                      arc_table, begin_var,
+                                      build_constraints, end_var)
+
+
+def single_channel_seq(count=3, duration=1000.0):
+    builder = DocumentBuilder("doc")
+    builder.channel("v", "video")
+    with builder.seq("track", channel="v"):
+        for index in range(count):
+            builder.imm(f"e{index}", data="x", duration=duration)
+    return builder.build()
+
+
+def two_channel_par():
+    builder = DocumentBuilder("doc")
+    builder.channel("v", "video")
+    builder.channel("c", "text")
+    with builder.par("scene"):
+        builder.imm("a", channel="v", data="x", duration=4000)
+        builder.imm("b", channel="c", data="y", duration=2000)
+    return builder.build(), builder
+
+
+def kinds(system):
+    return {constraint.kind for constraint in system.constraints}
+
+
+class TestDefaults:
+    def test_leaf_duration_produces_two_constraints(self):
+        document = single_channel_seq(count=1)
+        system = build_constraints(document.compile())
+        durations = [c for c in system.constraints
+                     if c.kind is ConstraintKind.DURATION]
+        assert len(durations) == 2  # lower + upper (equality)
+
+    def test_seq_chain_constraints(self):
+        """Default arcs: parent start -> first child, end -> next start,
+        last child end -> parent end."""
+        document = single_channel_seq(count=3)
+        system = build_constraints(document.compile(),
+                                   channel_serialization=False)
+        seq_constraints = [c for c in system.constraints
+                           if c.kind is ConstraintKind.SEQ_DEFAULT]
+        # root(start->child, 2 containers' worth) + track(start->first,
+        # 2 chain links, last->end) + root wrappers; count the chain
+        # links explicitly:
+        chain = [c for c in seq_constraints
+                 if c.base.kind is VarKind.END
+                 and c.var.kind is VarKind.BEGIN]
+        assert len(chain) == 2  # e0->e1, e1->e2
+
+    def test_par_fork_join(self):
+        document, _builder = two_channel_par()
+        system = build_constraints(document.compile())
+        par_constraints = [c for c in system.constraints
+                           if c.kind is ConstraintKind.PAR_DEFAULT]
+        forks = [c for c in par_constraints
+                 if c.base.kind is VarKind.BEGIN
+                 and c.var.kind is VarKind.BEGIN]
+        joins = [c for c in par_constraints
+                 if c.base.kind is VarKind.END
+                 and c.var.kind is VarKind.END]
+        assert len(forks) == 2
+        assert len(joins) == 2
+
+    def test_channel_order_constraints(self):
+        document = single_channel_seq(count=3)
+        system = build_constraints(document.compile())
+        channel = [c for c in system.constraints
+                   if c.kind is ConstraintKind.CHANNEL_ORDER]
+        assert len(channel) == 2
+
+    def test_channel_serialization_ablation_flag(self):
+        document = single_channel_seq(count=3)
+        system = build_constraints(document.compile(),
+                                   channel_serialization=False)
+        assert ConstraintKind.CHANNEL_ORDER not in kinds(system)
+
+
+class TestExplicitArcs:
+    def test_arc_with_window_gives_lower_and_upper(self):
+        document, builder = two_channel_par()
+        b = document.root.child_named("scene").child_named("b")
+        builder.arc(b, source="../a", destination=".",
+                    min_delay=MediaTime.ms(-10),
+                    max_delay=MediaTime.ms(100))
+        system = build_constraints(document.compile())
+        explicit = [c for c in system.constraints
+                    if c.kind is ConstraintKind.EXPLICIT_ARC]
+        assert len(explicit) == 2
+
+    def test_unbounded_arc_gives_lower_only(self):
+        document, builder = two_channel_par()
+        b = document.root.child_named("scene").child_named("b")
+        builder.arc(b, source="../a", destination=".", max_delay=None)
+        system = build_constraints(document.compile())
+        explicit = [c for c in system.constraints
+                    if c.kind is ConstraintKind.EXPLICIT_ARC]
+        assert len(explicit) == 1
+
+    def test_may_arc_constraints_relaxable(self):
+        document, builder = two_channel_par()
+        b = document.root.child_named("scene").child_named("b")
+        builder.arc(b, source="../a", destination=".", strictness="may")
+        system = build_constraints(document.compile())
+        relaxable = [c for c in system.constraints if c.relaxable]
+        assert relaxable
+        assert all(c.kind is ConstraintKind.EXPLICIT_ARC
+                   for c in relaxable)
+
+    def test_offset_folded_into_weights(self):
+        document, builder = two_channel_par()
+        b = document.root.child_named("scene").child_named("b")
+        builder.arc(b, source="../a", destination=".",
+                    offset=MediaTime.seconds(1))
+        system = build_constraints(document.compile())
+        explicit = [c for c in system.constraints
+                    if c.kind is ConstraintKind.EXPLICIT_ARC]
+        weights = sorted(c.weight_ms for c in explicit)
+        assert weights == [-1000.0, 1000.0]  # lower +1000, upper stored -1000
+
+    def test_conditional_arcs_excluded_by_default(self):
+        from repro.core.syncarc import ConditionalArc
+        document, _builder = two_channel_par()
+        b = document.root.child_named("scene").child_named("b")
+        b.add_arc(ConditionalArc("../a", ".", condition="link"))
+        system = build_constraints(document.compile())
+        assert ConstraintKind.EXPLICIT_ARC not in kinds(system)
+        included = build_constraints(document.compile(),
+                                     include_conditional=True)
+        assert ConstraintKind.EXPLICIT_ARC in kinds(included)
+
+
+class TestVarsAndTable:
+    def test_time_var_identity(self):
+        assert begin_var("/a") == TimeVar("/a", VarKind.BEGIN)
+        assert end_var("/a") != begin_var("/a")
+
+    def test_system_size(self):
+        document = single_channel_seq(count=2)
+        variables, constraints = build_constraints(
+            document.compile()).size
+        assert variables >= 8  # 4 nodes x 2 anchors
+        assert constraints > 0
+
+    def test_arc_table_includes_defaults_and_explicit(self):
+        document, builder = two_channel_par()
+        b = document.root.child_named("scene").child_named("b")
+        builder.arc(b, source="../a", destination=".",
+                    max_delay=MediaTime.ms(100))
+        rows = arc_table(document.compile())
+        origins = {row["origin"] for row in rows}
+        assert "explicit-arc" in origins
+        assert "par-default" in origins
+        explicit_rows = [r for r in rows if r["origin"] == "explicit-arc"]
+        assert len(explicit_rows) == 1  # deduplicated lower/upper pair
+        assert explicit_rows[0]["max_delay"] == "100ms"

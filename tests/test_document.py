@@ -1,0 +1,167 @@
+"""Unit tests for the document object and compilation (repro.core.document)."""
+
+import pytest
+
+from repro.core.channels import ChannelDictionary, Medium
+from repro.core.descriptors import DataDescriptor
+from repro.core.document import CmifDocument
+from repro.core.errors import (ChannelError, StructureError, ValueError_)
+from repro.core.nodes import ExtNode, ImmNode, ParNode, SeqNode
+from repro.core.timebase import MediaTime, TimeBase
+
+
+def make_document():
+    root = SeqNode("doc")
+    channels = ChannelDictionary()
+    channels.declare_named("video", "video")
+    channels.declare_named("caption", "text")
+    return CmifDocument(root=root, channels=channels)
+
+
+class TestConstruction:
+    def test_root_must_be_container(self):
+        with pytest.raises(StructureError):
+            CmifDocument(root=ImmNode("x"))  # type: ignore[arg-type]
+
+    def test_default_root_is_seq(self):
+        document = CmifDocument()
+        assert isinstance(document.root, SeqNode)
+
+    def test_root_attribute_round_trip(self):
+        document = make_document()
+        document.styles.define("cap", {"channel": "caption"})
+        document.sync_root_attributes()
+        rebuilt = CmifDocument.from_root(document.root)
+        assert rebuilt.channels.names() == ["video", "caption"]
+        assert "cap" in rebuilt.styles
+        assert rebuilt.timebase.frame_rate == 25.0
+
+    def test_from_root_custom_timebase(self):
+        document = make_document()
+        document.timebase = TimeBase(frame_rate=30.0, chars_per_second=20.0)
+        document.sync_root_attributes()
+        rebuilt = CmifDocument.from_root(document.root)
+        assert rebuilt.timebase.frame_rate == 30.0
+        assert rebuilt.timebase.chars_per_second == 20.0
+
+
+class TestDescriptorResolution:
+    def test_local_registry_first(self):
+        document = make_document()
+        descriptor = DataDescriptor("clip", Medium.VIDEO)
+        document.register_descriptor("clip", descriptor)
+        assert document.resolve_descriptor("clip") is descriptor
+
+    def test_external_resolver_consulted_second(self):
+        document = make_document()
+        fallback = DataDescriptor("other", Medium.VIDEO)
+        document.attach_resolver(
+            lambda file_id: fallback if file_id == "other" else None)
+        assert document.resolve_descriptor("other") is fallback
+        assert document.resolve_descriptor("missing") is None
+
+
+class TestCompilation:
+    def test_channel_resolution_inherited(self):
+        document = make_document()
+        scene = document.root.add(ParNode("scene", {"channel": "video"}))
+        scene.add(ImmNode("clip", {"duration": 1000}, "x"))
+        compiled = document.compile()
+        assert compiled.events[0].channel == "video"
+
+    def test_missing_channel_raises(self):
+        document = make_document()
+        document.root.add(ImmNode("clip", {"duration": 1000}, "x"))
+        with pytest.raises(ChannelError, match="no channel"):
+            document.compile()
+
+    def test_imm_text_duration_from_reading_speed(self):
+        document = make_document()
+        document.timebase = TimeBase(chars_per_second=10.0)
+        document.root.add(ImmNode("cap", {"channel": "caption"},
+                                  "0123456789"))  # 10 chars
+        compiled = document.compile()
+        assert compiled.events[0].duration_ms == pytest.approx(1000.0)
+
+    def test_explicit_duration_wins(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {"channel": "caption",
+                                          "duration": 750}, "long text"))
+        assert document.compile().events[0].duration_ms == 750.0
+
+    def test_ext_duration_from_descriptor(self):
+        document = make_document()
+        document.register_descriptor("clip", DataDescriptor(
+            "clip", Medium.VIDEO,
+            attributes={"duration": MediaTime.seconds(8)}))
+        document.root.add(ExtNode("v", {"channel": "video",
+                                        "file": "clip"}))
+        assert document.compile().events[0].duration_ms == 8000.0
+
+    def test_ext_duration_from_slice(self):
+        document = make_document()
+        document.register_descriptor("clip", DataDescriptor(
+            "clip", Medium.VIDEO,
+            attributes={"duration": MediaTime.seconds(8)}))
+        document.root.add(ExtNode("v", {
+            "channel": "video", "file": "clip",
+            "slice": MediaTime.seconds(2),
+            "slice-length": MediaTime.seconds(3)}))
+        assert document.compile().events[0].duration_ms == 3000.0
+
+    def test_clip_attributes_work_like_slice(self):
+        document = make_document()
+        document.register_descriptor("sound", DataDescriptor(
+            "sound", Medium.AUDIO,
+            attributes={"duration": MediaTime.seconds(10)}))
+        document.channels.declare_named("audio", "audio")
+        document.root.add(ExtNode("a", {
+            "channel": "audio", "file": "sound",
+            "clip": MediaTime.seconds(1),
+            "clip-length": MediaTime.seconds(4)}))
+        assert document.compile().events[0].duration_ms == 4000.0
+
+    def test_unresolvable_duration_raises(self):
+        document = make_document()
+        document.root.add(ExtNode("v", {"channel": "video",
+                                        "file": "ghost"}))
+        with pytest.raises(ValueError_, match="duration"):
+            document.compile()
+
+    def test_missing_file_raises(self):
+        document = make_document()
+        document.root.add(ExtNode("v", {"channel": "video"}))
+        with pytest.raises(StructureError, match="no file"):
+            document.compile()
+
+    def test_per_channel_preserves_document_order(self):
+        document = make_document()
+        with_scene = document.root.add(SeqNode("track",
+                                               {"channel": "caption"}))
+        for index in range(3):
+            with_scene.add(ImmNode(f"c{index}", {"duration": 100}, "x"))
+        compiled = document.compile()
+        names = [event.node_path for event
+                 in compiled.per_channel["caption"]]
+        assert names == ["/track/c0", "/track/c1", "/track/c2"]
+
+    def test_sharing_ratio(self):
+        document = make_document()
+        document.register_descriptor("clip", DataDescriptor(
+            "clip", Medium.VIDEO,
+            attributes={"duration": MediaTime.seconds(1)}))
+        track = document.root.add(SeqNode("track", {"channel": "video",
+                                                    "file": "clip"}))
+        track.add(ExtNode("a"))
+        track.add(ExtNode("b"))
+        compiled = document.compile()
+        assert compiled.sharing_ratio() == 2.0
+
+    def test_sharing_ratio_empty(self):
+        assert make_document().compile().sharing_ratio() == 0.0
+
+    def test_event_for_unknown_node_raises(self):
+        document = make_document()
+        compiled = document.compile()
+        with pytest.raises(StructureError):
+            compiled.event_for(document.root)

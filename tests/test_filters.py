@@ -1,0 +1,178 @@
+"""Unit tests for constraint filtering tools (pipeline stage 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.channels import Medium
+from repro.core.errors import DeviceConstraintError
+from repro.pipeline.capture import CaptureSession
+from repro.pipeline.filters import (ConstraintFilter, FilterKind,
+                                    apply_action)
+from repro.pipeline.mapping import StructureMapper
+from repro.store.datastore import DataStore
+from repro.transport.environments import (PERSONAL_SYSTEM, SILENT_TERMINAL,
+                                          SystemEnvironment, WORKSTATION)
+
+
+@pytest.fixture()
+def rich_media_document():
+    """A document with 24-bit 25fps video, 44.1kHz audio and an image."""
+    store = DataStore()
+    session = CaptureSession(store=store, seed=3)
+    mapper = StructureMapper.create("doc", store)
+    mapper.channel("video", "video").channel("sound", "audio")
+    mapper.channel("still", "image")
+    mapper.scene("scene", {
+        "video": session.capture_video("v", 2000.0, width=720, height=576),
+        "sound": session.capture_audio("a", 2000.0),
+        "still": session.capture_image("i", width=1280, height=960),
+    })
+    return mapper.finish(), store
+
+
+class TestPlanning:
+    def test_workstation_passes_unfiltered(self, rich_media_document):
+        document, _store = rich_media_document
+        plan = ConstraintFilter(WORKSTATION).plan(document.compile())
+        assert plan.actions == []
+
+    def test_personal_system_gets_paper_filterings(self,
+                                                   rich_media_document):
+        """The section-2 list: colour reduction, resolution scaling,
+        frame sub-sampling, audio down-sampling."""
+        document, _store = rich_media_document
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        kinds = {action.kind for action in plan.actions}
+        assert FilterKind.REDUCE_COLOR in kinds
+        assert FilterKind.SCALE_RESOLUTION in kinds
+        assert FilterKind.SUBSAMPLE_FRAMES in kinds
+        assert FilterKind.DOWNSAMPLE_AUDIO in kinds
+
+    def test_silent_terminal_drops_unsupported_channels(
+            self, rich_media_document):
+        document, _store = rich_media_document
+        plan = ConstraintFilter(SILENT_TERMINAL).plan(document.compile())
+        assert {"video", "sound"} <= plan.dropped_channels
+
+    def test_monochrome_on_one_bit_display(self, rich_media_document):
+        document, _store = rich_media_document
+        plan = ConstraintFilter(SILENT_TERMINAL).plan(document.compile())
+        mono = [a for a in plan.actions
+                if a.kind is FilterKind.TO_MONOCHROME]
+        assert mono  # the still image goes monochrome
+
+    def test_plan_deduplicates_shared_descriptors(self):
+        store = DataStore()
+        session = CaptureSession(store=store, seed=4)
+        mapper = StructureMapper.create("doc", store)
+        mapper.channel("video", "video")
+        clip = session.capture_video("v", 1000.0, width=720, height=576)
+        mapper.sequence("track", "video", [clip] if False else [])
+        mapper.place(clip, "video", name="first")
+        # Second use of the same descriptor on the same channel.
+        mapper.builder.ext("second", file="v", channel="video")
+        document = mapper.finish()
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        scaling = [a for a in plan.actions
+                   if a.kind is FilterKind.SCALE_RESOLUTION]
+        assert len(scaling) == 1
+
+    def test_describe_mentions_environment(self, rich_media_document):
+        document, _store = rich_media_document
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        assert "personal-system" in plan.describe()
+
+
+class TestActionExecution:
+    def test_reduce_color(self, rich_media_document):
+        document, store = rich_media_document
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        action = next(a for a in plan.actions
+                      if a.kind is FilterKind.REDUCE_COLOR
+                      and a.descriptor_id == "i")
+        block = store.block_for("i")
+        descriptor = store.descriptor("i")
+        payload, updated = apply_action(action, block.materialize(),
+                                        descriptor)
+        assert updated.get("color-depth") < 24
+        assert len(np.unique(payload)) < len(
+            np.unique(block.materialize()))
+
+    def test_scale_resolution(self, rich_media_document):
+        document, store = rich_media_document
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        action = next(a for a in plan.actions
+                      if a.kind is FilterKind.SCALE_RESOLUTION
+                      and a.descriptor_id == "i")
+        payload, updated = apply_action(
+            action, store.block_for("i").materialize(),
+            store.descriptor("i"))
+        width, height = updated.get("resolution")
+        assert width <= PERSONAL_SYSTEM.screen_width
+        assert height <= PERSONAL_SYSTEM.screen_height
+        assert payload.shape[1] == width
+
+    def test_subsample_frames(self, rich_media_document):
+        document, store = rich_media_document
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        action = next(a for a in plan.actions
+                      if a.kind is FilterKind.SUBSAMPLE_FRAMES)
+        frames = store.block_for("v").materialize()
+        payload, updated = apply_action(action, frames,
+                                        store.descriptor("v"))
+        assert updated.get("frame-rate") <= PERSONAL_SYSTEM.max_frame_rate
+        assert payload.shape[0] < frames.shape[0]
+
+    def test_downsample_audio(self, rich_media_document):
+        document, store = rich_media_document
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        action = next(a for a in plan.actions
+                      if a.kind is FilterKind.DOWNSAMPLE_AUDIO)
+        samples = store.block_for("a").materialize()
+        payload, updated = apply_action(action, samples,
+                                        store.descriptor("a"))
+        assert updated.get("sample-rate") <= PERSONAL_SYSTEM.max_sample_rate
+        assert len(payload) < len(samples)
+
+    def test_drop_channel_has_no_payload_transform(self,
+                                                   rich_media_document):
+        document, store = rich_media_document
+        plan = ConstraintFilter(SILENT_TERMINAL).plan(document.compile())
+        action = next(a for a in plan.actions
+                      if a.kind is FilterKind.DROP_CHANNEL)
+        with pytest.raises(DeviceConstraintError):
+            apply_action(action, None, store.descriptor("v"))
+
+    def test_filtered_video_frames_also_color_reduced(self,
+                                                      rich_media_document):
+        document, store = rich_media_document
+        plan = ConstraintFilter(PERSONAL_SYSTEM).plan(document.compile())
+        action = next(a for a in plan.actions
+                      if a.kind is FilterKind.REDUCE_COLOR
+                      and a.descriptor_id == "v")
+        frames = store.block_for("v").materialize()
+        payload, _updated = apply_action(action, frames,
+                                         store.descriptor("v"))
+        assert payload.shape == frames.shape
+
+
+class TestDeviceConflictIntegration:
+    def test_plan_carries_device_conflicts(self):
+        """A must arc tighter than the channel latency surfaces in the
+        filter plan (the class-2 path of section 5.3.3)."""
+        from repro.core.builder import DocumentBuilder
+        from repro.core.timebase import MediaTime
+        builder = DocumentBuilder("doc")
+        builder.channel("video", "video")
+        builder.channel("caption", "text")
+        with builder.par("scene"):
+            builder.imm("v", channel="video", data="x", duration=1000)
+            c = builder.imm("c", channel="caption", data="y", duration=500)
+        document = builder.build()
+        builder.arc(c, source="../v", destination=".",
+                    max_delay=MediaTime.ms(1.0))
+        slow = SystemEnvironment(
+            name="slow", start_latency_ms={Medium.TEXT: 50.0})
+        plan = ConstraintFilter(slow).plan(document.compile())
+        assert plan.conflicts
+        assert plan.conflicts[0].conflict_class == "device"

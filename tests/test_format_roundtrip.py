@@ -1,0 +1,165 @@
+"""Round-trip tests for the concrete CMIF text form (parser + writer)."""
+
+import pytest
+
+from repro.core.builder import DocumentBuilder
+from repro.core.errors import FormatError
+from repro.core.nodes import NodeKind
+from repro.core.syncarc import Anchor, ConditionalArc, Strictness
+from repro.core.timebase import MediaTime, Unit
+from repro.core.values import Rect
+from repro.format.parser import parse_document, parse_time, parse_value
+from repro.format.sexpr import Symbol, parse_one
+from repro.format.writer import write_document
+
+
+def rich_document():
+    """A document exercising every attribute value type and node kind."""
+    builder = DocumentBuilder("rich")
+    builder.channel("video", "video", **{"prefer-width": 3})
+    builder.channel("caption", "text")
+    builder.channel("sound", "audio")
+    builder.style("cap", channel="caption")
+    builder.style("big-cap", style=("cap",), size=24)
+    with builder.par("scene"):
+        builder.ext("clip", file="clip.vid", channel="video",
+                    duration=MediaTime.frames(250),
+                    crop=Rect(10, 20, 100, 80))
+        builder.ext("noise", file="s.aud", channel="sound",
+                    duration=MediaTime.seconds(5),
+                    clip=MediaTime.seconds(1))
+        cap = builder.imm("cap1", data="Gestolen van Gogh's",
+                          style=("big-cap",))
+        builder.imm("cap2", data='Tricky "data" with \\ and\nnewline',
+                    channel="caption", duration=800)
+    document = builder.build(validate=False)
+    builder.arc(cap, source="../clip", destination=".",
+                src_anchor="end", dst_anchor="begin",
+                strictness="may", offset=MediaTime.frames(10),
+                min_delay=MediaTime.ms(-20), max_delay=None)
+    builder.arc(cap, source="/scene/noise", destination="../cap2",
+                max_delay=MediaTime.ms(100))
+    cap.add_arc(ConditionalArc("../clip", ".", condition="reader-link"))
+    return document
+
+
+class TestRoundTrip:
+    def test_text_round_trip_is_identity(self):
+        document = rich_document()
+        first = write_document(document)
+        second = write_document(parse_document(first))
+        assert first == second
+
+    def test_structure_survives(self):
+        document = parse_document(write_document(rich_document()))
+        scene = document.root.child_named("scene")
+        assert scene.kind is NodeKind.PAR
+        assert scene.child_named("clip").kind is NodeKind.EXT
+        assert scene.child_named("cap1").kind is NodeKind.IMM
+        assert scene.child_named("cap1").data == "Gestolen van Gogh's"
+
+    def test_dictionaries_survive(self):
+        document = parse_document(write_document(rich_document()))
+        assert document.channels.names() == ["video", "caption", "sound"]
+        assert document.channels.lookup("video").extra == {
+            "prefer-width": 3}
+        assert document.styles.expand("big-cap")["channel"] == "caption"
+
+    def test_tagged_values_survive(self):
+        document = parse_document(write_document(rich_document()))
+        clip = document.root.child_named("scene").child_named("clip")
+        duration = clip.attributes.get("duration")
+        assert duration == MediaTime.frames(250)
+        assert clip.attributes.get("crop") == Rect(10, 20, 100, 80)
+
+    def test_arcs_survive_exactly(self):
+        document = parse_document(write_document(rich_document()))
+        cap = document.root.child_named("scene").child_named("cap1")
+        arcs = cap.arcs
+        assert len(arcs) == 3
+        first = arcs[0]
+        assert first.src_anchor is Anchor.END
+        assert first.strictness is Strictness.MAY
+        assert first.offset == MediaTime.frames(10)
+        assert first.min_delay == MediaTime.ms(-20)
+        assert first.max_delay is None
+        assert isinstance(arcs[2], ConditionalArc)
+        assert arcs[2].condition == "reader-link"
+
+    def test_tricky_string_data_survives(self):
+        document = parse_document(write_document(rich_document()))
+        cap2 = document.root.child_named("scene").child_named("cap2")
+        assert cap2.data == 'Tricky "data" with \\ and\nnewline'
+
+    def test_schedules_agree_after_round_trip(self):
+        from repro.timing import schedule_document
+        original = rich_document()
+        restored = parse_document(write_document(original))
+        times_a = [(e.event.node_path, e.begin_ms) for e in
+                   schedule_document(original.compile()).events]
+        times_b = [(e.event.node_path, e.begin_ms) for e in
+                   schedule_document(restored.compile()).events]
+        assert times_a == times_b
+
+
+class TestParserErrors:
+    def test_not_cmif(self):
+        with pytest.raises(FormatError, match="cmif"):
+            parse_document("(html)")
+
+    def test_bad_version(self):
+        with pytest.raises(FormatError, match="version"):
+            parse_document("(cmif (version 99) (seq))")
+
+    def test_missing_root(self):
+        with pytest.raises(FormatError, match="no root"):
+            parse_document("(cmif (version 1))")
+
+    def test_two_roots(self):
+        with pytest.raises(FormatError, match="more than one"):
+            parse_document("(cmif (version 1) (seq) (seq))")
+
+    def test_leaf_root_rejected(self):
+        with pytest.raises(FormatError, match="seq or par"):
+            parse_document('(cmif (version 1) (imm "data"))')
+
+    def test_ext_with_children_rejected(self):
+        with pytest.raises(FormatError):
+            parse_document("(cmif (version 1) (seq (ext (seq))))")
+
+    def test_sync_arc_missing_field(self):
+        with pytest.raises(FormatError, match="missing"):
+            parse_document(
+                '(cmif (version 1) (seq (attributes '
+                '(sync-arc (type begin must) (source ".")))))')
+
+
+class TestValueDecoding:
+    def test_scalar_kinds(self):
+        assert parse_value([Symbol("video")]) == "video"
+        assert parse_value(["with space"]) == "with space"
+        assert parse_value([42]) == 42
+        assert parse_value([Symbol("true")]) is True
+        assert parse_value([Symbol("false")]) is False
+
+    def test_pointer_tuple(self):
+        assert parse_value([Symbol("a"), Symbol("b")]) == ("a", "b")
+
+    def test_group(self):
+        value = parse_value(parse_one("(x (a 1) (b (c 2)))")[1:])
+        assert value == {"a": 1, "b": {"c": 2}}
+
+    def test_time_tag(self):
+        value = parse_value(parse_one("(x (time 4 s))")[1:])
+        assert value == MediaTime(4.0, Unit.SECONDS)
+
+    def test_rect_tag(self):
+        value = parse_value(parse_one("(x (rect 1 2 3 4))")[1:])
+        assert value == Rect(1, 2, 3, 4)
+
+    def test_bare_number_time(self):
+        assert parse_time(250) == MediaTime.ms(250.0)
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(FormatError):
+            parse_value([])

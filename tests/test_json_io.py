@@ -1,0 +1,114 @@
+"""Unit tests for the JSON interchange form (repro.format.json_io)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.core.syncarc import ConditionalArc, SyncArc
+from repro.core.timebase import MediaTime, Unit
+from repro.core.values import Rect
+from repro.format.json_io import (arc_from_obj, arc_to_obj,
+                                  document_from_json, document_to_json,
+                                  value_from_obj, value_to_obj)
+from repro.format.writer import write_document
+from tests.test_format_roundtrip import rich_document
+
+
+class TestDocumentRoundTrip:
+    def test_json_round_trip_matches_text_form(self):
+        document = rich_document()
+        restored = document_from_json(document_to_json(document))
+        assert write_document(restored) == write_document(document)
+
+    def test_json_is_valid_json(self):
+        payload = json.loads(document_to_json(rich_document()))
+        assert payload["cmif"]["version"] == 1
+        assert payload["cmif"]["root"]["kind"] == "seq"
+
+    def test_binary_immediate_data(self):
+        from repro.core.builder import DocumentBuilder
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        node = builder.imm("blob", channel="v", duration=100)
+        node.data = b"\x00\x01\xff"
+        document = builder.build(validate=False)
+        restored = document_from_json(document_to_json(document))
+        blob = restored.root.child_named("blob")
+        assert blob.data == b"\x00\x01\xff"
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(FormatError, match="invalid JSON"):
+            document_from_json("{not json")
+
+    def test_missing_cmif_member(self):
+        with pytest.raises(FormatError, match="cmif"):
+            document_from_json('{"something": 1}')
+
+    def test_bad_version(self):
+        with pytest.raises(FormatError, match="version"):
+            document_from_json('{"cmif": {"version": 9}}')
+
+    def test_unknown_node_kind(self):
+        with pytest.raises(FormatError, match="kind"):
+            document_from_json(
+                '{"cmif": {"version": 1, "root": {"kind": "blob"}}}')
+
+    def test_leaf_with_children_rejected(self):
+        payload = {"cmif": {"version": 1, "root": {
+            "kind": "seq", "children": [
+                {"kind": "imm", "data": "x",
+                 "children": [{"kind": "imm", "data": "y"}]}]}}}
+        with pytest.raises(FormatError, match="children"):
+            document_from_json(json.dumps(payload))
+
+
+class TestValueEncoding:
+    def test_time_tagged(self):
+        obj = value_to_obj(MediaTime.frames(10))
+        assert obj == {"$time": [10.0, "frames"]}
+        assert value_from_obj(obj) == MediaTime(10.0, Unit.FRAMES)
+
+    def test_rect_tagged(self):
+        obj = value_to_obj(Rect(1, 2, 3, 4))
+        assert value_from_obj(obj) == Rect(1, 2, 3, 4)
+
+    def test_pointers_tagged(self):
+        obj = value_to_obj(("a", "b"))
+        assert value_from_obj(obj) == ("a", "b")
+
+    def test_nested_group(self):
+        group = {"a": MediaTime.ms(5), "b": {"c": 1}}
+        assert value_from_obj(value_to_obj(group)) == group
+
+    def test_plain_scalars_pass_through(self):
+        for value in ("x", 1, 2.5, True, None):
+            assert value_from_obj(value_to_obj(value)) == value
+
+    def test_unencodable_raises(self):
+        with pytest.raises(FormatError):
+            value_to_obj(object())
+
+
+class TestArcEncoding:
+    def test_arc_round_trip(self):
+        arc = SyncArc("../a", ".", offset=MediaTime.seconds(1),
+                      min_delay=MediaTime.ms(-10), max_delay=None)
+        restored = arc_from_obj(arc_to_obj(arc))
+        assert restored == arc
+
+    def test_conditional_round_trip(self):
+        arc = ConditionalArc("../a", ".", condition="link-2")
+        restored = arc_from_obj(arc_to_obj(arc))
+        assert isinstance(restored, ConditionalArc)
+        assert restored.condition == "link-2"
+
+    def test_bad_type_field(self):
+        with pytest.raises(FormatError, match="type"):
+            arc_from_obj({"type": "sometimes"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(FormatError):
+            arc_from_obj("not an arc")

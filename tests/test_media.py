@@ -1,0 +1,197 @@
+"""Unit tests for the synthetic media substrate (repro.media)."""
+
+import numpy as np
+import pytest
+
+from repro.core.channels import Medium
+from repro.core.descriptors import Slice
+from repro.core.errors import MediaError
+from repro.core.timebase import MediaTime, TimeBase
+from repro.core.values import Rect
+from repro.media import (clip_samples, crop_image, downsample,
+                         generate_paragraph, make_audio_block,
+                         make_image_block, make_text_block,
+                         make_video_block, reading_duration_ms,
+                         reduce_color_depth, rms_level, scale_frames,
+                         scale_image, slice_frames, subsample_frame_rate,
+                         synthesize_frames, synthesize_image,
+                         synthesize_samples, to_monochrome, translate_stub)
+import random
+
+
+class TestText:
+    def test_deterministic_by_seed(self):
+        a = generate_paragraph(random.Random(7))
+        b = generate_paragraph(random.Random(7))
+        c = generate_paragraph(random.Random(8))
+        assert a == b
+        assert a != c
+
+    def test_block_and_descriptor(self):
+        block, descriptor = make_text_block("t1", seed=1)
+        assert block.medium is Medium.TEXT
+        assert descriptor.get("characters") == len(block.payload)
+        assert descriptor.duration is not None
+        assert descriptor.get("keywords")
+
+    def test_verbatim_text(self):
+        block, descriptor = make_text_block("t2", text="Exact words")
+        assert block.payload == "Exact words"
+        assert descriptor.get("characters") == 11
+
+    def test_reading_duration(self):
+        base = TimeBase(chars_per_second=10.0)
+        assert reading_duration_ms("0123456789", base) == 1000.0
+
+    def test_translate_stub_tags_language(self):
+        assert translate_stub("hallo", "en") == "[en] hallo"
+
+
+class TestAudio:
+    def test_synthesis_shape_and_determinism(self):
+        a = synthesize_samples(1000.0, 8000.0, seed=3)
+        b = synthesize_samples(1000.0, 8000.0, seed=3)
+        assert len(a) == 8000
+        assert a.dtype == np.float32
+        assert np.array_equal(a, b)
+        assert np.max(np.abs(a)) <= 1.0 + 1e-6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MediaError):
+            synthesize_samples(0.0, 8000.0)
+        with pytest.raises(MediaError):
+            synthesize_samples(100.0, -1.0)
+
+    def test_block_is_lazy_generator(self):
+        block, descriptor = make_audio_block("a1", 500.0,
+                                             sample_rate=8000.0)
+        assert block.generator
+        assert descriptor.get("samples") == 4000
+        assert len(block.materialize()) == 4000
+
+    def test_clip_extraction(self):
+        samples = synthesize_samples(2000.0, 1000.0)
+        clip = Slice(MediaTime.ms(500), MediaTime.ms(1000))
+        extracted = clip_samples(samples, 1000.0, clip)
+        assert len(extracted) == 1000
+
+    def test_clip_past_end_raises(self):
+        samples = synthesize_samples(1000.0, 1000.0)
+        clip = Slice(MediaTime.ms(800), MediaTime.ms(500))
+        with pytest.raises(MediaError):
+            clip_samples(samples, 1000.0, clip)
+
+    def test_downsample_halves_rate(self):
+        samples = synthesize_samples(1000.0, 8000.0)
+        down, rate = downsample(samples, 8000.0, 4000.0)
+        assert rate == 4000.0
+        assert len(down) == 4000
+
+    def test_downsample_preserves_energy_roughly(self):
+        samples = synthesize_samples(1000.0, 8000.0, seed=5)
+        down, _rate = downsample(samples, 8000.0, 4000.0)
+        assert rms_level(down) == pytest.approx(rms_level(samples),
+                                                rel=0.5)
+
+    def test_downsample_to_higher_rate_is_identity(self):
+        samples = synthesize_samples(100.0, 8000.0)
+        down, rate = downsample(samples, 8000.0, 16000.0)
+        assert rate == 8000.0
+        assert np.array_equal(down, samples)
+
+
+class TestImage:
+    def test_synthesis_deterministic(self):
+        a = synthesize_image(32, 24, seed=1)
+        b = synthesize_image(32, 24, seed=1)
+        assert a.shape == (24, 32, 3)
+        assert np.array_equal(a, b)
+
+    def test_block_descriptor_attributes(self):
+        _block, descriptor = make_image_block("i1", 320, 240)
+        assert descriptor.get("resolution") == (320, 240)
+        assert descriptor.get("color-depth") == 24
+
+    def test_crop(self):
+        image = synthesize_image(100, 80)
+        cropped = crop_image(image, Rect(10, 20, 30, 40))
+        assert cropped.shape == (40, 30, 3)
+
+    def test_crop_out_of_bounds_raises(self):
+        image = synthesize_image(50, 50)
+        with pytest.raises(MediaError, match="bounds"):
+            crop_image(image, Rect(40, 40, 20, 20))
+
+    def test_reduce_color_depth_quantizes(self):
+        image = synthesize_image(16, 16)
+        reduced = reduce_color_depth(image, 2)
+        assert len(np.unique(reduced)) <= 4
+        assert reduced.max() <= 255
+
+    def test_reduce_depth_eight_is_identity(self):
+        image = synthesize_image(8, 8)
+        assert np.array_equal(reduce_color_depth(image, 8), image)
+
+    def test_reduce_depth_range_checked(self):
+        image = synthesize_image(8, 8)
+        with pytest.raises(MediaError):
+            reduce_color_depth(image, 0)
+        with pytest.raises(MediaError):
+            reduce_color_depth(image, 9)
+
+    def test_monochrome(self):
+        mono = to_monochrome(synthesize_image(16, 16))
+        assert mono.ndim == 2
+        assert mono.dtype == np.uint8
+
+    def test_scale(self):
+        scaled = scale_image(synthesize_image(100, 100), 50, 25)
+        assert scaled.shape == (25, 50, 3)
+
+    def test_scale_invalid(self):
+        with pytest.raises(MediaError):
+            scale_image(synthesize_image(10, 10), 0, 5)
+
+
+class TestVideo:
+    def test_frame_count_follows_rate(self):
+        frames = synthesize_frames(1000.0, 25.0)
+        assert frames.shape[0] == 25
+
+    def test_consecutive_frames_differ(self):
+        frames = synthesize_frames(200.0, 25.0)
+        assert not np.array_equal(frames[0], frames[1])
+
+    def test_block_descriptor(self):
+        _block, descriptor = make_video_block("v1", 2000.0,
+                                              frame_rate=25.0)
+        assert descriptor.get("frames") == 50
+        assert descriptor.get("frame-rate") == 25.0
+
+    def test_slice_frames(self):
+        frames = synthesize_frames(2000.0, 25.0)
+        base = TimeBase(frame_rate=25.0)
+        sliced = slice_frames(frames, 25.0,
+                              Slice(MediaTime.frames(10),
+                                    MediaTime.frames(20)), base)
+        assert sliced.shape[0] == 20
+        assert np.array_equal(sliced[0], frames[10])
+
+    def test_subsample_frame_rate(self):
+        frames = synthesize_frames(1000.0, 24.0)
+        sub, rate = subsample_frame_rate(frames, 24.0, 12.0)
+        assert rate == 12.0
+        assert sub.shape[0] == 12
+        assert np.array_equal(sub[0], frames[0])
+        assert np.array_equal(sub[1], frames[2])
+
+    def test_subsample_to_higher_rate_is_identity(self):
+        frames = synthesize_frames(200.0, 10.0)
+        sub, rate = subsample_frame_rate(frames, 10.0, 30.0)
+        assert rate == 10.0
+        assert sub.shape == frames.shape
+
+    def test_scale_frames(self):
+        frames = synthesize_frames(200.0, 10.0, width=32, height=24)
+        scaled = scale_frames(frames, 16, 12)
+        assert scaled.shape == (2, 12, 16, 3)

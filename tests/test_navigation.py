@@ -1,0 +1,113 @@
+"""Tests for hyper-navigation sessions (repro.pipeline.navigation)."""
+
+import pytest
+
+from repro.core.builder import DocumentBuilder
+from repro.core.errors import NavigationError
+from repro.core.syncarc import ConditionalArc
+from repro.pipeline.navigation import NavigationSession, collect_links
+from repro.timing import schedule_document
+
+
+@pytest.fixture()
+def linked_schedule():
+    """seq(intro, menu, chapter-1, chapter-2) with links from the menu."""
+    builder = DocumentBuilder("hyperdoc")
+    builder.channel("v", "video")
+    with builder.seq("body", channel="v"):
+        builder.imm("intro", data="i", duration=2000)
+        menu = builder.imm("menu", data="m", duration=4000)
+        builder.imm("chapter-1", data="1", duration=5000)
+        builder.imm("chapter-2", data="2", duration=5000)
+    document = builder.build()
+    menu.add_arc(ConditionalArc(".", "../chapter-1",
+                                condition="pick-chapter-1"))
+    menu.add_arc(ConditionalArc(".", "../chapter-2",
+                                condition="pick-chapter-2"))
+    return schedule_document(document.compile())
+
+
+class TestLinkCollection:
+    def test_links_found_with_activity_windows(self, linked_schedule):
+        links = collect_links(linked_schedule)
+        assert len(links) == 2
+        first = next(l for l in links if l.condition == "pick-chapter-1")
+        # The menu runs 2000..6000; chapter-1 begins at 6000.
+        assert first.active_from_ms == 2000.0
+        assert first.active_until_ms == 6000.0
+        assert first.target_time_ms == 6000.0
+
+    def test_plain_arcs_are_not_links(self, linked_schedule):
+        # The document's default arcs never appear as links.
+        assert all(link.condition.startswith("pick-")
+                   for link in collect_links(linked_schedule))
+
+    def test_conditional_arcs_do_not_constrain_schedule(self,
+                                                        linked_schedule):
+        """Conditional arcs are runtime-only: the static schedule is the
+        plain sequential one."""
+        assert linked_schedule.total_duration_ms == 16_000.0
+
+
+class TestSession:
+    def test_links_only_active_while_source_on_screen(self,
+                                                      linked_schedule):
+        session = NavigationSession(linked_schedule)
+        assert session.conditions_available() == []
+        session.advance_to(3000.0)
+        assert session.conditions_available() == ["pick-chapter-1",
+                                                  "pick-chapter-2"]
+        session.advance_to(7000.0)
+        assert session.conditions_available() == []
+
+    def test_follow_jumps_to_target(self, linked_schedule):
+        session = NavigationSession(linked_schedule)
+        session.advance_to(3000.0)
+        jump = session.follow("pick-chapter-2")
+        assert jump.to_ms == 11_000.0
+        assert session.position_ms == 11_000.0
+        assert session.on_screen() == ["/body/chapter-2"]
+
+    def test_follow_unavailable_condition_raises(self, linked_schedule):
+        session = NavigationSession(linked_schedule)
+        with pytest.raises(NavigationError, match="no active link"):
+            session.follow("pick-chapter-1")
+
+    def test_jump_reports_invalidated_arcs(self):
+        """A jump over an arc's source invalidates it (class 3)."""
+        from repro.core.timebase import MediaTime
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("body", channel="v"):
+            menu = builder.imm("menu", data="m", duration=2000)
+            builder.imm("a", data="a", duration=3000)
+            late = builder.imm("late", data="l", duration=2000)
+        document = builder.build()
+        # A relative must arc whose source ('a') would be skipped.
+        builder.arc(late, source="../a", destination=".",
+                    src_anchor="end", max_delay=None)
+        menu.add_arc(ConditionalArc(".", "../late", condition="skip"))
+        schedule = schedule_document(document.compile())
+        session = NavigationSession(schedule)
+        session.advance_to(1000.0)
+        jump = session.follow("skip")
+        assert jump.invalidated
+        assert jump.invalidated[0].conflict_class == "navigation"
+
+    def test_advance_backwards_requires_rewind(self, linked_schedule):
+        session = NavigationSession(linked_schedule)
+        session.advance_to(5000.0)
+        with pytest.raises(NavigationError):
+            session.advance_to(1000.0)
+        session.rewind()
+        assert session.position_ms == 0.0
+
+    def test_history_recorded(self, linked_schedule):
+        session = NavigationSession(linked_schedule)
+        session.advance_to(3000.0)
+        session.follow("pick-chapter-1")
+        session.rewind()
+        session.advance_to(3000.0)
+        session.follow("pick-chapter-2")
+        assert [jump.condition for jump in session.history] == [
+            "pick-chapter-1", "pick-chapter-2"]

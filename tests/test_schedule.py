@@ -1,0 +1,119 @@
+"""Unit tests for schedules (repro.timing.schedule)."""
+
+import pytest
+
+from repro.core.builder import DocumentBuilder
+from repro.core.errors import SchedulingConflict
+from repro.core.timebase import MediaTime
+from repro.timing.schedule import ScheduledEvent, schedule_document
+
+
+def build_story():
+    builder = DocumentBuilder("doc")
+    builder.channel("v", "video")
+    builder.channel("c", "text")
+    with builder.seq("story"):
+        with builder.par("part1"):
+            builder.imm("clip", channel="v", data="x", duration=4000)
+            builder.imm("cap", channel="c", data="y", duration=2000)
+        builder.imm("outro", channel="v", data="z", duration=1000)
+    return builder.build()
+
+
+@pytest.fixture()
+def schedule():
+    return schedule_document(build_story().compile())
+
+
+class TestQueries:
+    def test_total_duration(self, schedule):
+        assert schedule.total_duration_ms == 5000.0
+
+    def test_node_times(self, schedule):
+        assert schedule.node_begin_ms("/story/part1") == 0.0
+        assert schedule.node_end_ms("/story/part1") == 4000.0
+        assert schedule.node_begin_ms("/story/outro") == 4000.0
+
+    def test_unknown_node_raises(self, schedule):
+        with pytest.raises(SchedulingConflict):
+            schedule.node_begin_ms("/ghost")
+
+    def test_by_channel_sorted(self, schedule):
+        lanes = schedule.by_channel()
+        assert [e.event.node_path for e in lanes["v"]] == [
+            "/story/part1/clip", "/story/outro"]
+
+    def test_events_at(self, schedule):
+        active = {e.event.node_path for e in schedule.events_at(1000.0)}
+        assert active == {"/story/part1/clip", "/story/part1/cap"}
+        late = {e.event.node_path for e in schedule.events_at(4500.0)}
+        assert late == {"/story/outro"}
+
+    def test_event_for_path(self, schedule):
+        event = schedule.event_for_path("/story/outro")
+        assert event.begin_ms == 4000.0
+        with pytest.raises(SchedulingConflict):
+            schedule.event_for_path("/nope")
+
+    def test_change_points(self, schedule):
+        assert schedule.change_points() == [0.0, 2000.0, 4000.0, 5000.0]
+
+    def test_channel_utilization(self, schedule):
+        utilization = schedule.channel_utilization()
+        assert utilization["v"] == pytest.approx(1.0)
+        assert utilization["c"] == pytest.approx(0.4)
+
+    def test_shifted(self, schedule):
+        shifted = schedule.shifted(500.0)
+        assert shifted.total_duration_ms == 5500.0
+        assert shifted.event_for_path("/story/outro").begin_ms == 4500.0
+        # The original is untouched.
+        assert schedule.event_for_path("/story/outro").begin_ms == 4000.0
+
+
+class TestScheduledEvent:
+    def test_overlap_detection(self):
+        from repro.core.descriptors import EventDescriptor
+        from repro.core.channels import Medium
+
+        def event(begin, end):
+            descriptor = EventDescriptor(
+                event_id="e", node_path="/e", channel="v",
+                medium=Medium.VIDEO, duration_ms=end - begin)
+            return ScheduledEvent(descriptor, begin, end)
+
+        assert event(0, 10).overlaps(event(5, 15))
+        assert not event(0, 10).overlaps(event(10, 20))
+
+    def test_active_at_is_half_open(self, schedule):
+        clip = schedule.event_for_path("/story/part1/clip")
+        assert clip.active_at(0.0)
+        assert clip.active_at(3999.0)
+        assert not clip.active_at(4000.0)
+
+
+class TestInvariants:
+    def test_channel_serialization_holds(self, schedule):
+        schedule.assert_channel_serialization()
+
+    def test_duration_equality_enforced(self, schedule):
+        for event in schedule.events:
+            assert event.duration_ms == pytest.approx(
+                event.event.duration_ms)
+
+    def test_dropped_constraints_empty_when_feasible(self, schedule):
+        assert schedule.dropped_constraints == []
+        assert schedule.solver_iterations == 1
+
+    def test_relaxation_surfaces_in_schedule(self):
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("track", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            b = builder.imm("b", data="y", duration=1000)
+        document = builder.build()
+        builder.arc(b, source="../a", destination=".",
+                    strictness="may", max_delay=MediaTime.ms(100))
+        schedule = schedule_document(document.compile())
+        assert len(schedule.dropped_constraints) == 1
+        assert schedule.solver_iterations == 2

@@ -1,0 +1,113 @@
+"""Unit tests for the s-expression substrate (repro.format.sexpr)."""
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.format.sexpr import (Symbol, dump, head_symbol, parse_all,
+                                parse_one, tokenize)
+
+
+class TestTokenizer:
+    def test_atoms(self):
+        tokens = list(tokenize('foo 42 2.5 "hi there"'))
+        assert [t.kind for t in tokens] == ["symbol", "number", "number",
+                                            "string"]
+        assert tokens[0].value == Symbol("foo")
+        assert tokens[1].value == 42
+        assert tokens[2].value == 2.5
+        assert tokens[3].value == "hi there"
+
+    def test_comments_skipped(self):
+        tokens = list(tokenize("a ; this is a comment\n b"))
+        assert [t.value for t in tokens] == [Symbol("a"), Symbol("b")]
+
+    def test_positions_tracked(self):
+        tokens = list(tokenize("(a\n  b)"))
+        b_token = tokens[2]
+        assert b_token.line == 2
+        assert b_token.column == 3
+
+    def test_string_escapes(self):
+        tokens = list(tokenize(r'"a\"b\\c\nd"'))
+        assert tokens[0].value == 'a"b\\c\nd'
+
+    def test_unterminated_string(self):
+        with pytest.raises(FormatError, match="unterminated"):
+            list(tokenize('"no closing quote'))
+
+    def test_unknown_escape(self):
+        with pytest.raises(FormatError, match="escape"):
+            list(tokenize(r'"\q"'))
+
+    def test_inf_reads_as_symbol(self):
+        tokens = list(tokenize("inf -inf nan"))
+        assert all(t.kind == "symbol" for t in tokens)
+
+    def test_negative_numbers(self):
+        tokens = list(tokenize("-5 -2.5"))
+        assert [t.value for t in tokens] == [-5, -2.5]
+
+
+class TestParser:
+    def test_nested_lists(self):
+        result = parse_one("(a (b 1) (c (d 2)))")
+        assert result == [Symbol("a"), [Symbol("b"), 1],
+                          [Symbol("c"), [Symbol("d"), 2]]]
+
+    def test_unbalanced_close(self):
+        with pytest.raises(FormatError, match="unbalanced"):
+            parse_all("(a))")
+
+    def test_unbalanced_open(self):
+        with pytest.raises(FormatError, match="unbalanced"):
+            parse_all("((a)")
+
+    def test_parse_one_rejects_multiple(self):
+        with pytest.raises(FormatError, match="exactly one"):
+            parse_one("(a) (b)")
+
+    def test_empty_list(self):
+        assert parse_one("()") == []
+
+
+class TestDump:
+    def test_round_trip(self):
+        source = [Symbol("doc"), [Symbol("x"), 1, 2.5, "a string"],
+                  [Symbol("y")]]
+        assert parse_one(dump(source)) == source
+
+    def test_short_lists_stay_inline(self):
+        assert "\n" not in dump([Symbol("a"), 1, 2])
+
+    def test_long_lists_break(self):
+        long = [Symbol("attrs")] + [[Symbol(f"key{i}"), "value" * 4]
+                                    for i in range(10)]
+        text = dump(long)
+        assert "\n" in text
+        assert parse_one(text) == long
+
+    def test_string_escaping_round_trips(self):
+        tricky = 'quote " backslash \\ newline \n tab \t end'
+        assert parse_one(dump(tricky)) == tricky
+
+    def test_floats_render_compactly(self):
+        assert dump(2.0) == "2"
+        assert dump(2.5) == "2.5"
+
+    def test_unserializable_raises(self):
+        with pytest.raises(FormatError):
+            dump(object())
+
+
+class TestHelpers:
+    def test_head_symbol(self):
+        assert head_symbol(parse_one("(cmif 1)")) == "cmif"
+        assert head_symbol([1, 2]) is None
+        assert head_symbol("string") is None
+        assert head_symbol([]) is None
+
+    def test_symbol_rejects_whitespace(self):
+        with pytest.raises(FormatError):
+            Symbol("a b")
+        with pytest.raises(FormatError):
+            Symbol("")

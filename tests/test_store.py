@@ -1,0 +1,147 @@
+"""Unit tests for the data store and query language (repro.store)."""
+
+import pytest
+
+from repro.core.channels import Medium
+from repro.core.descriptors import DataBlock, DataDescriptor
+from repro.core.errors import QueryError, StoreError
+from repro.media import make_audio_block, make_text_block
+from repro.store import (DataStore, attr_contains, attr_eq, attr_range,
+                         always, duration_between, keyword, medium_is, run)
+
+
+@pytest.fixture()
+def store():
+    store = DataStore("test")
+    for index in range(3):
+        block, descriptor = make_text_block(
+            f"text-{index}", seed=index,
+            keywords=("news", f"topic-{index}"))
+        descriptor = DataDescriptor(f"text-{index}", Medium.TEXT,
+                                    block_id=block.block_id,
+                                    attributes=dict(descriptor.attributes))
+        store.register(descriptor, block)
+    block, descriptor = make_audio_block("sound-0", 2000.0,
+                                         keywords=("news",))
+    descriptor = DataDescriptor("sound-0", Medium.AUDIO,
+                                block_id=block.block_id,
+                                attributes=dict(descriptor.attributes))
+    store.register(descriptor, block)
+    return store
+
+
+class TestRegistration:
+    def test_duplicate_descriptor_rejected(self, store):
+        with pytest.raises(StoreError, match="twice"):
+            store.register(DataDescriptor("text-0", Medium.TEXT))
+
+    def test_block_descriptor_mismatch_rejected(self):
+        store = DataStore()
+        descriptor = DataDescriptor("d", Medium.TEXT, block_id="other")
+        with pytest.raises(StoreError, match="names block"):
+            store.register(descriptor, DataBlock("b", Medium.TEXT, "x"))
+
+    def test_len_and_contains(self, store):
+        assert len(store) == 4
+        assert "text-1" in store
+        assert "ghost" not in store
+
+
+class TestLookup:
+    def test_descriptor_lookup(self, store):
+        assert store.descriptor("text-0").medium is Medium.TEXT
+
+    def test_missing_descriptor_raises(self, store):
+        with pytest.raises(StoreError, match="no descriptor"):
+            store.descriptor("ghost")
+
+    def test_block_for(self, store):
+        block = store.block_for("sound-0")
+        assert block.medium is Medium.AUDIO
+
+    def test_block_for_counts_payload_read(self, store):
+        store.stats.reset()
+        store.block_for("text-0")
+        assert store.stats.payload_reads == 1
+        assert store.stats.payload_bytes > 0
+
+    def test_descriptor_without_block(self):
+        store = DataStore()
+        store.register(DataDescriptor("d", Medium.TEXT))
+        with pytest.raises(StoreError, match="references no block"):
+            store.block_for("d")
+
+
+class TestAttributeOnlySearch:
+    def test_find_by_keyword_uses_index(self, store):
+        store.stats.reset()
+        results = store.find(keywords="topic-1")
+        assert [d.descriptor_id for d in results] == ["text-1"]
+        assert store.stats.payload_reads == 0
+
+    def test_find_by_medium(self, store):
+        results = store.find(medium="audio")
+        assert [d.descriptor_id for d in results] == ["sound-0"]
+
+    def test_find_combines_criteria(self, store):
+        results = store.find(medium="text", keywords="news")
+        assert len(results) == 3
+
+    def test_find_never_touches_payloads(self, store):
+        """Paper section 6: manipulation based on 'relatively small
+        clusters of data (the attributes) rather than the often massive
+        amounts of media-based data itself'."""
+        store.stats.reset()
+        store.find(medium="text")
+        store.find(keywords="news")
+        store.find_where(lambda d: d.get("characters", 0) > 10)
+        assert store.stats.payload_reads == 0
+        assert store.stats.attribute_reads > 0
+
+
+class TestQueryCombinators:
+    def test_medium_query(self, store):
+        assert len(run(store, medium_is("text"))) == 3
+
+    def test_keyword_query(self, store):
+        assert len(run(store, keyword("news"))) == 4
+
+    def test_and_or_not(self, store):
+        both = medium_is("text") & keyword("topic-2")
+        assert len(run(store, both)) == 1
+        either = keyword("topic-0") | keyword("topic-1")
+        assert len(run(store, either)) == 2
+        negated = ~medium_is("text")
+        assert len(run(store, negated)) == 1
+
+    def test_attr_eq_and_contains(self, store):
+        assert run(store, attr_eq("language", "en"))
+        assert run(store, attr_contains("keywords", "news"))
+
+    def test_attr_range(self, store):
+        query = attr_range("characters", minimum=1)
+        assert len(run(store, query)) == 3  # audio has no characters
+        with pytest.raises(QueryError):
+            attr_range("characters")
+
+    def test_duration_between(self, store):
+        query = duration_between(min_ms=1000.0, max_ms=3000.0)
+        matched = run(store, query)
+        assert any(d.descriptor_id == "sound-0" for d in matched)
+        with pytest.raises(QueryError):
+            duration_between()
+
+    def test_always(self, store):
+        assert len(run(store, always())) == 4
+
+    def test_descriptions_compose(self):
+        query = medium_is("text") & ~keyword("x")
+        assert "AND" in query.description
+        assert "NOT" in query.description
+
+
+class TestResolver:
+    def test_resolver_for_documents(self, store):
+        resolve = store.resolver()
+        assert resolve("text-0").descriptor_id == "text-0"
+        assert resolve("ghost") is None

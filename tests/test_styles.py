@@ -1,0 +1,115 @@
+"""Unit tests for styles and the style dictionary (repro.core.styles)."""
+
+import pytest
+
+from repro.core.errors import StyleError
+from repro.core.styles import StyleDictionary
+
+
+class TestDefinition:
+    def test_define_and_lookup(self):
+        styles = StyleDictionary()
+        styles.define("caption", {"channel": "caption"})
+        assert styles.body("caption") == {"channel": "caption"}
+
+    def test_undefined_lookup_raises(self):
+        with pytest.raises(StyleError, match="not defined"):
+            StyleDictionary().body("missing")
+
+    def test_body_is_a_copy(self):
+        styles = StyleDictionary({"a": {"x": 1}})
+        styles.body("a")["x"] = 99
+        assert styles.body("a")["x"] == 1
+
+    def test_non_dict_body_rejected(self):
+        with pytest.raises(StyleError):
+            StyleDictionary().define("a", "not a dict")
+
+
+class TestExpansion:
+    def test_simple_expansion(self):
+        styles = StyleDictionary({"caption": {"channel": "caption",
+                                              "t-formatting": {"size": 12}}})
+        expanded = styles.expand("caption")
+        assert expanded["channel"] == "caption"
+
+    def test_parent_styles_expand_first(self):
+        """A style's own attributes override inherited ones."""
+        styles = StyleDictionary({
+            "base": {"size": 10, "font": "times"},
+            "headline": {"style": ("base",), "size": 24},
+        })
+        expanded = styles.expand("headline")
+        assert expanded == {"size": 24, "font": "times"}
+
+    def test_multi_parent_later_wins(self):
+        styles = StyleDictionary({
+            "a": {"x": 1, "y": 1},
+            "b": {"x": 2},
+            "c": {"style": ("a", "b")},
+        })
+        assert styles.expand("c") == {"x": 2, "y": 1}
+
+    def test_expand_all_later_name_wins(self):
+        styles = StyleDictionary({"a": {"x": 1}, "b": {"x": 2}})
+        assert styles.expand_all(("a", "b"))["x"] == 2
+        assert styles.expand_all(("b", "a"))["x"] == 1
+
+    def test_string_parent_accepted(self):
+        styles = StyleDictionary({
+            "base": {"x": 1},
+            "child": {"style": "base", "y": 2},
+        })
+        assert styles.expand("child") == {"x": 1, "y": 2}
+
+
+class TestCycles:
+    def test_self_reference_rejected(self):
+        """'No style refers to itself, directly or indirectly.'"""
+        styles = StyleDictionary({"a": {"style": ("a",)}})
+        with pytest.raises(StyleError):
+            styles.validate()
+
+    def test_indirect_cycle_rejected(self):
+        styles = StyleDictionary({
+            "a": {"style": ("b",)},
+            "b": {"style": ("c",)},
+            "c": {"style": ("a",)},
+        })
+        with pytest.raises(StyleError, match="cycle"):
+            styles.validate()
+
+    def test_expand_detects_cycles_too(self):
+        styles = StyleDictionary({"a": {"style": ("a",)}})
+        with pytest.raises(StyleError):
+            styles.expand("a")
+
+    def test_diamond_is_not_a_cycle(self):
+        styles = StyleDictionary({
+            "base": {"x": 1},
+            "left": {"style": ("base",)},
+            "right": {"style": ("base",)},
+            "top": {"style": ("left", "right")},
+        })
+        styles.validate()
+        assert styles.expand("top") == {"x": 1}
+
+    def test_undefined_parent_rejected(self):
+        styles = StyleDictionary({"a": {"style": ("ghost",)}})
+        with pytest.raises(StyleError, match="ghost"):
+            styles.validate()
+
+
+class TestGroupRoundTrip:
+    def test_round_trip(self):
+        styles = StyleDictionary({
+            "caption": {"channel": "caption"},
+            "big": {"style": ("caption",), "size": 20},
+        })
+        rebuilt = StyleDictionary.from_group(styles.to_group())
+        assert rebuilt.names() == ["caption", "big"]
+        assert rebuilt.expand("big")["channel"] == "caption"
+
+    def test_from_group_rejects_non_dict(self):
+        with pytest.raises(StyleError):
+            StyleDictionary.from_group({"a": 5})

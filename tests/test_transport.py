@@ -1,0 +1,168 @@
+"""Unit tests for environments, negotiation and packaging (repro.transport)."""
+
+import pytest
+
+from repro.core.channels import Medium
+from repro.core.errors import DeviceConstraintError, TransportError
+from repro.transport import (FILTERABLE, PERSONAL_SYSTEM, PLAYABLE,
+                             SILENT_TERMINAL, SystemEnvironment,
+                             UNPLAYABLE, WORKSTATION,
+                             document_requirements,
+                             externals_to_immediates, negotiate, pack,
+                             unpack)
+
+
+class TestEnvironments:
+    def test_profiles_are_distinct(self):
+        assert WORKSTATION.color_depth > PERSONAL_SYSTEM.color_depth
+        assert SILENT_TERMINAL.audio_channels == 0
+
+    def test_supports_respects_media_set_and_devices(self):
+        assert WORKSTATION.supports(Medium.VIDEO)
+        assert not SILENT_TERMINAL.supports(Medium.AUDIO)
+        assert not SILENT_TERMINAL.supports(Medium.VIDEO)
+        assert SILENT_TERMINAL.supports(Medium.TEXT)
+
+    def test_latency_defaults_to_zero(self):
+        bare = SystemEnvironment(name="bare")
+        assert bare.latency_for(Medium.VIDEO) == 0.0
+
+    def test_degraded_copies(self):
+        degraded = WORKSTATION.degraded(color_depth=8)
+        assert degraded.color_depth == 8
+        assert WORKSTATION.color_depth == 24
+
+    def test_invalid_construction(self):
+        with pytest.raises(DeviceConstraintError):
+            SystemEnvironment(name="x", color_depth=13)
+        with pytest.raises(DeviceConstraintError):
+            SystemEnvironment(name="x", audio_channels=-1)
+
+
+class TestNegotiation:
+    def test_requirements_derived_from_descriptors(self, news_corpus):
+        requirements = document_requirements(news_corpus.document)
+        assert Medium.VIDEO in requirements["media"]
+        assert requirements["max_resolution"] == (320, 240)
+        assert requirements["color_depth"] == 24
+        assert requirements["bandwidth_bps"] > 0
+        assert requirements["tightest_must_epsilon_ms"] == 250.0
+
+    def test_workstation_playable(self, news_corpus):
+        result = negotiate(news_corpus.document, WORKSTATION)
+        assert result.verdict == PLAYABLE
+        assert result.ok
+
+    def test_personal_system_needs_filtering(self, news_corpus):
+        result = negotiate(news_corpus.document, PERSONAL_SYSTEM)
+        assert result.verdict == FILTERABLE
+        unsatisfied = [f for f in result.findings if not f.satisfied]
+        assert all(f.filterable for f in unsatisfied)
+
+    def test_silent_terminal_unplayable(self, news_corpus):
+        result = negotiate(news_corpus.document, SILENT_TERMINAL)
+        assert result.verdict == UNPLAYABLE
+        assert not result.ok
+        unmet = [f for f in result.findings
+                 if not f.satisfied and not f.filterable]
+        assert any("audio" in f.requirement for f in unmet)
+
+    def test_summary_readable(self, news_corpus):
+        text = negotiate(news_corpus.document, WORKSTATION).summary()
+        assert "workstation" in text
+        assert "[ok]" in text
+
+
+class TestPackaging:
+    def test_structure_only_package(self, fragment_corpus):
+        package = pack(fragment_corpus.document, fragment_corpus.store)
+        result = unpack(package)
+        assert result.embedded_blocks == 0
+        # Descriptors travelled: scheduling works without the store.
+        from repro.timing import schedule_document
+        schedule = schedule_document(result.document.compile())
+        assert schedule.total_duration_ms == pytest.approx(44_000.0)
+
+    def test_self_contained_package(self, fragment_corpus):
+        package = pack(fragment_corpus.document, fragment_corpus.store,
+                       embed_data=True)
+        result = unpack(package)
+        assert result.embedded_blocks > 0
+        assert result.verified_checksums == result.embedded_blocks
+        block = result.store.block_for("story3/voice")
+        original = fragment_corpus.store.block_for("story3/voice")
+        import numpy as np
+        assert np.array_equal(block.materialize(),
+                              original.materialize())
+
+    def test_corruption_detected(self, fragment_corpus):
+        package = pack(fragment_corpus.document, fragment_corpus.store,
+                       embed_data=True)
+        import json
+        payload = json.loads(package)
+        blocks = payload["cmif-package"]["blocks"]
+        first = next(iter(blocks.values()))
+        flipped = "00" if not first["data"].startswith("00") else "ff"
+        first["data"] = flipped + first["data"][2:]
+        with pytest.raises(TransportError, match="checksum"):
+            unpack(json.dumps(payload))
+
+    def test_unverified_unpack_skips_checksums(self, fragment_corpus):
+        package = pack(fragment_corpus.document, fragment_corpus.store,
+                       embed_data=True)
+        result = unpack(package, verify=False)
+        assert result.verified_checksums == 0
+
+    def test_not_a_package(self):
+        with pytest.raises(TransportError):
+            unpack("{}")
+        with pytest.raises(TransportError):
+            unpack("not json at all")
+
+    def test_missing_descriptor_fails_packing(self):
+        from repro.core.builder import DocumentBuilder
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        builder.ext("clip", file="ghost", channel="v", duration=100)
+        document = builder.build(validate=False)
+        with pytest.raises(TransportError, match="ghost"):
+            pack(document)
+
+
+class TestExternalsToImmediates:
+    def test_text_externals_become_immediate(self):
+        """The no-common-storage-server transport of section 5.1."""
+        from repro.core.builder import DocumentBuilder
+        from repro.pipeline.capture import CaptureSession
+        from repro.store.datastore import DataStore
+        store = DataStore()
+        session = CaptureSession(store=store, seed=9)
+        caption = session.capture_text("cap/0", text="Inline me")
+        builder = DocumentBuilder("doc")
+        builder.channel("caption", "text")
+        builder.channel("video", "video")
+        builder.descriptor(caption.file_id, caption.descriptor)
+        with builder.seq("track"):
+            builder.ext("c", file="cap/0", channel="caption")
+            video = session.capture_video("vid/0", 1000.0)
+            builder.descriptor(video.file_id, video.descriptor)
+            builder.ext("v", file="vid/0", channel="video")
+        document = builder.build()
+        rewritten = externals_to_immediates(document, store)
+        assert rewritten == 1
+        track = document.root.child_named("track")
+        imm = track.child_named("c")
+        assert imm.kind.value == "imm"
+        assert imm.data == "Inline me"
+        # Non-text media stay external.
+        assert track.child_named("v").kind.value == "ext"
+
+    def test_rewrite_preserves_document_order(self, fragment_corpus):
+        from repro.corpus import make_paintings_fragment
+        corpus = make_paintings_fragment()
+        from repro.core.tree import iter_leaves
+        before = [node.name for node in
+                  iter_leaves(corpus.document.root)]
+        externals_to_immediates(corpus.document, corpus.store)
+        after = [node.name for node in iter_leaves(corpus.document.root)]
+        assert before == after

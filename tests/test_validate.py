@@ -1,0 +1,167 @@
+"""Unit tests for document validation (repro.core.validate)."""
+
+import pytest
+
+from repro.core.channels import ChannelDictionary
+from repro.core.document import CmifDocument
+from repro.core.errors import CmifError
+from repro.core.nodes import ExtNode, ImmNode, ParNode, SeqNode
+from repro.core.syncarc import SyncArc
+from repro.core.timebase import MediaTime
+from repro.core.validate import (ERROR, WARNING, validate_document)
+
+
+def make_document(**channels):
+    root = SeqNode("doc")
+    dictionary = ChannelDictionary()
+    for name, medium in (channels or {"video": "video"}).items():
+        dictionary.declare_named(name, medium)
+    return CmifDocument(root=root, channels=dictionary)
+
+
+def codes(issues, severity=None):
+    return [issue.code for issue in issues
+            if severity is None or issue.severity == severity]
+
+
+class TestStructureRules:
+    def test_clean_document_passes(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {"channel": "video",
+                                          "duration": 100}, "x"))
+        issues = validate_document(document)
+        assert codes(issues, ERROR) == []
+
+    def test_duplicate_sibling_names_flagged(self):
+        document = make_document()
+        a = document.root.add(ImmNode("a", {"channel": "video"}, "x"))
+        b = document.root.add(ImmNode("b", {"channel": "video"}, "x"))
+        b.attributes.set("name", "a")
+        assert "duplicate-sibling-name" in codes(
+            validate_document(document), ERROR)
+
+
+class TestAttributePlacement:
+    def test_root_only_attribute_on_child_flagged(self):
+        document = make_document()
+        child = document.root.add(SeqNode("s"))
+        child.attributes.set("channel-dictionary",
+                             {"x": {"medium": "text"}})
+        assert "root-only-attribute" in codes(
+            validate_document(document), ERROR)
+
+    def test_slice_on_container_flagged(self):
+        document = make_document()
+        child = document.root.add(SeqNode("s"))
+        child.attributes.set("slice", MediaTime.seconds(1))
+        assert "attribute-node-kind" in codes(
+            validate_document(document), ERROR)
+
+    def test_slice_on_ext_allowed(self):
+        document = make_document()
+        document.root.add(ExtNode("e", {
+            "channel": "video", "file": "f", "duration": 100,
+            "slice": MediaTime.seconds(1)}))
+        assert "attribute-node-kind" not in codes(
+            validate_document(document))
+
+
+class TestReferenceRules:
+    def test_undefined_style_flagged(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {
+            "channel": "video", "style": ("ghost",), "duration": 100}, "x"))
+        assert "undefined-style" in codes(validate_document(document),
+                                          ERROR)
+
+    def test_style_cycle_flagged(self):
+        document = make_document()
+        document.styles.define("a", {"style": ("a",)})
+        assert "style-cycle" in codes(validate_document(document), ERROR)
+
+    def test_undefined_channel_flagged(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {"channel": "ghost"}, "x"))
+        assert "undefined-channel" in codes(validate_document(document),
+                                            ERROR)
+
+    def test_missing_channel_on_leaf_flagged(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {"duration": 100}, "x"))
+        assert "missing-channel" in codes(validate_document(document),
+                                          ERROR)
+
+    def test_missing_file_on_ext_flagged(self):
+        document = make_document()
+        document.root.add(ExtNode("e", {"channel": "video"}))
+        assert "missing-file" in codes(validate_document(document), ERROR)
+
+    def test_unresolved_descriptor_is_warning(self):
+        document = make_document()
+        document.root.add(ExtNode("e", {"channel": "video", "file": "f",
+                                        "duration": 100}))
+        issues = validate_document(document)
+        assert "unresolved-descriptor" in codes(issues, WARNING)
+        assert "unresolved-descriptor" not in codes(issues, ERROR)
+
+    def test_unused_channel_warning(self):
+        document = make_document(video="video", audio="audio")
+        document.root.add(ImmNode("cap", {"channel": "video",
+                                          "duration": 100}, "x"))
+        assert "unused-channel" in codes(validate_document(document),
+                                         WARNING)
+
+    def test_medium_mismatch_warning(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {
+            "channel": "video", "medium": "text", "duration": 100}, "x"))
+        assert "medium-mismatch" in codes(validate_document(document),
+                                          WARNING)
+
+    def test_empty_immediate_warning(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {"channel": "video",
+                                          "duration": 100}, ""))
+        assert "empty-immediate" in codes(validate_document(document),
+                                          WARNING)
+
+
+class TestArcRules:
+    def test_unresolvable_endpoint_flagged(self):
+        document = make_document()
+        node = document.root.add(ImmNode("cap", {"channel": "video",
+                                                 "duration": 100}, "x"))
+        node.add_arc(SyncArc("../ghost", "."))
+        assert "arc-endpoint" in codes(validate_document(document), ERROR)
+
+    def test_self_loop_warning(self):
+        document = make_document()
+        node = document.root.add(ImmNode("cap", {"channel": "video",
+                                                 "duration": 100}, "x"))
+        node.add_arc(SyncArc(".", "."))
+        assert "arc-self-loop" in codes(validate_document(document),
+                                        WARNING)
+
+    def test_valid_arc_passes(self):
+        document = make_document()
+        parent = document.root.add(ParNode("p"))
+        parent.add(ImmNode("a", {"channel": "video", "duration": 100}, "x"))
+        b = parent.add(ImmNode("b", {"channel": "video",
+                                     "duration": 100}, "y"))
+        b.add_arc(SyncArc("../a", "."))
+        assert codes(validate_document(document), ERROR) == []
+
+
+class TestStrictMode:
+    def test_strict_raises_on_error(self):
+        document = make_document()
+        document.root.add(ImmNode("cap", {"channel": "ghost"}, "x"))
+        with pytest.raises(CmifError, match="invalid"):
+            validate_document(document, strict=True)
+
+    def test_strict_tolerates_warnings(self):
+        document = make_document(video="video", audio="audio")
+        document.root.add(ImmNode("cap", {"channel": "video",
+                                          "duration": 100}, "x"))
+        issues = validate_document(document, strict=True)
+        assert codes(issues, WARNING)  # unused audio channel

@@ -1,0 +1,121 @@
+"""Unit tests for the viewing tools (pipeline stage 5a)."""
+
+import pytest
+
+from repro.pipeline.presentation import PresentationMapper
+from repro.pipeline.viewer import (render_arc_table, render_embedded,
+                                   render_screen, render_summary,
+                                   render_timeline, render_tree)
+
+
+@pytest.fixture(scope="module")
+def views(request):
+    from repro.corpus import make_paintings_fragment
+    from repro.timing import schedule_document
+    corpus = make_paintings_fragment()
+    schedule = schedule_document(corpus.document.compile())
+    presentation = PresentationMapper().map_document(corpus.document)
+    return corpus.document, schedule, presentation
+
+
+class TestTreeViews:
+    def test_conventional_tree_shows_all_nodes(self, views):
+        document, _schedule, _presentation = views
+        text = render_tree(document)
+        for name in ("story-paintings", "video-track", "talking-head",
+                     "painting-two", "humorous-close"):
+            assert name in text
+
+    def test_tree_uses_branch_characters(self, views):
+        document, _schedule, _presentation = views
+        text = render_tree(document)
+        assert "|--" in text
+        assert "`--" in text
+
+    def test_embedded_form_nests_boxes(self, views):
+        document, _schedule, _presentation = views
+        text = render_embedded(document)
+        assert text.count("+--") > 5
+        # Depth shows as indentation.
+        assert "\n    +" in text
+
+    def test_immediate_data_snippets_shown(self, views):
+        document, _schedule, _presentation = views
+        assert "Gestolen" in render_tree(document)
+
+
+class TestTimeline:
+    def test_channels_as_columns(self, views):
+        _document, schedule, _presentation = views
+        text = render_timeline(schedule)
+        header = text.splitlines()[0]
+        for channel in ("video", "audio", "graphic", "label", "caption"):
+            assert channel in header
+
+    def test_events_appear_at_their_times(self, views):
+        _document, schedule, _presentation = views
+        lines = render_timeline(schedule, slot_ms=1000.0,
+                                column_width=20).splitlines()
+        # talking-head-2 begins at 34s (the freeze-frame hold).
+        row_34 = next(line for line in lines if line.startswith("   34.0"))
+        assert "talking-head-2" in row_34
+
+    def test_time_flows_downward(self, views):
+        _document, schedule, _presentation = views
+        lines = render_timeline(schedule).splitlines()[2:]
+        times = [float(line.split("s")[0]) for line in lines if line]
+        assert times == sorted(times)
+
+
+class TestScreen:
+    def test_active_channels_painted(self, views):
+        _document, schedule, presentation = views
+        text = render_screen(schedule, presentation, at_ms=15_000.0)
+        assert "V" in text  # video region
+        assert "G" in text  # graphic region
+        assert "C" in text  # caption strip
+
+    def test_audio_listed_as_speaker(self, views):
+        _document, schedule, presentation = views
+        text = render_screen(schedule, presentation, at_ms=15_000.0)
+        assert "speaker 0" in text
+        assert "voice" in text
+
+    def test_legend_present(self, views):
+        _document, schedule, presentation = views
+        assert "legend:" in render_screen(schedule, presentation, 0.0)
+
+    def test_empty_instant(self, views):
+        _document, schedule, presentation = views
+        text = render_screen(schedule, presentation,
+                             at_ms=schedule.total_duration_ms + 1000.0)
+        assert "V" not in text.splitlines()[3]
+
+
+class TestArcTable:
+    def test_explicit_arcs_listed(self, views):
+        _document, schedule, _presentation = views
+        text = render_arc_table(schedule)
+        assert "begin/must" in text
+        assert "begin/may" in text
+        assert "painting-two" in text
+
+    def test_full_table_includes_defaults(self, views):
+        _document, schedule, _presentation = views
+        full = render_arc_table(schedule, explicit_only=False)
+        assert len(full.splitlines()) > len(
+            render_arc_table(schedule).splitlines())
+
+
+class TestSummary:
+    def test_summary_counts_and_channels(self, views):
+        document, schedule, _presentation = views
+        text = render_summary(document, schedule)
+        assert "channels:" in text
+        assert "video(video)" in text
+        assert "44.0s" in text
+
+    def test_summary_without_schedule(self, views):
+        document, _schedule, _presentation = views
+        text = render_summary(document)
+        assert "scheduled span" not in text
