@@ -35,10 +35,10 @@ from repro.format.parser import parse_document
 from repro.format.writer import write_document
 from repro.pipeline.player import Player
 from repro.pipeline.presentation import PresentationMapper
-from repro.pipeline.viewer import (render_arc_table, render_embedded,
-                                   render_summary, render_timeline,
+from repro.pipeline.viewer import (render_arc_table, render_authoring_view,
+                                   render_embedded, render_summary,
                                    render_tree)
-from repro.timing import schedule_document
+from repro.timing import ScheduleCache, schedule_document
 from repro.transport.environments import (PERSONAL_SYSTEM, SILENT_TERMINAL,
                                           SystemEnvironment, WORKSTATION)
 from repro.transport.negotiate import negotiate
@@ -91,15 +91,7 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     document = load_document(args.document)
-    schedule = schedule_document(document.compile())
-    print(render_summary(document, schedule))
-    print()
-    print(render_timeline(schedule, slot_ms=args.slot_ms))
-    if schedule.dropped_constraints:
-        print(f"\nrelaxed {len(schedule.dropped_constraints)} may "
-              f"constraint(s) to make the document schedulable:")
-        for constraint in schedule.dropped_constraints:
-            print(f"  - {constraint.describe()}")
+    print(render_authoring_view(document, slot_ms=args.slot_ms))
     return 0
 
 
@@ -111,18 +103,31 @@ def cmd_arcs(args: argparse.Namespace) -> int:
 
 
 def cmd_play(args: argparse.Namespace) -> int:
+    if args.replays < 1:
+        print("error: --replays must be at least 1", file=sys.stderr)
+        return 2
     document = load_document(args.document)
     environment = ENVIRONMENTS[args.environment]
-    schedule = schedule_document(document.compile())
+    # One solve per run: every replay (and seek) reuses the cached
+    # schedule for the document's revision.
+    cache = ScheduleCache()
     player = Player(environment, seed=args.seed,
-                    prefetch_lead_ms=args.prefetch)
-    report = player.play(schedule, rate=args.rate,
-                         seek_to_ms=args.seek * 1000.0)
-    print(report.summary())
-    if args.verbose:
-        for audit in report.audits:
-            print(f"  {audit}")
-    return 1 if report.must_violations else 0
+                    prefetch_lead_ms=args.prefetch, cache=cache)
+    failed = False
+    for replay in range(args.replays):
+        report = player.play_document(document, rate=args.rate,
+                                      seek_to_ms=args.seek * 1000.0,
+                                      rng=player.rng_for(replay))
+        if args.replays > 1:
+            print(f"replay {replay} (jitter seed {args.seed + replay}):")
+        print(report.summary())
+        if args.verbose:
+            for audit in report.audits:
+                print(f"  {audit}")
+        failed = failed or bool(report.must_violations)
+    if args.replays > 1:
+        print(cache.describe())
+    return 1 if failed else 0
 
 
 def cmd_negotiate(args: argparse.Namespace) -> int:
@@ -212,7 +217,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fast-forward to this many seconds")
     play.add_argument("--prefetch", type=float, default=0.0,
                       help="prefetch lead in ms")
-    play.add_argument("--seed", type=int, default=0)
+    play.add_argument("--seed", type=int, default=0,
+                      help="deterministic jitter seed: the same seed "
+                           "replays the identical run; replay i draws "
+                           "from seed+i (default 0)")
+    play.add_argument("--replays", type=int, default=1,
+                      help="play the run N times (seeds seed..seed+N-1), "
+                           "reusing one cached schedule")
     play.add_argument("--verbose", action="store_true")
     play.set_defaults(handler=cmd_play)
 

@@ -53,6 +53,16 @@ class CmifDocument:
         #: attached with :meth:`attach_resolver` and is consulted second.
         self.descriptors: dict[str, DataDescriptor] = {}
         self._resolver: DescriptorResolver | None = None
+        #: Monotonic edit counter.  Every operation in
+        #: :mod:`repro.core.edit` bumps it, giving schedule caches and the
+        #: incremental scheduler a cheap identity for "the document as it
+        #: was after edit N".
+        self.revision: int = 0
+
+    def bump_revision(self) -> int:
+        """Advance the edit counter; returns the new revision."""
+        self.revision += 1
+        return self.revision
 
     # -- dictionaries ----------------------------------------------------
 

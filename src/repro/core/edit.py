@@ -13,11 +13,17 @@ undo:
 * :func:`duplicate` — copy a subtree (fresh nodes, same attributes),
   the authoring counterpart of descriptor sharing;
 * :func:`retime` — change a leaf's duration;
-* :func:`remove` — delete a subtree, reporting the arcs that dangle.
+* :func:`remove` — delete a subtree, reporting the arcs that dangle;
+* :func:`add_arc` / :func:`remove_arc` — attach or detach an explicit
+  synchronization arc (the sync-arc refinement loop of section 5.3.2).
 
 Arc hygiene: operations that move or delete nodes re-resolve every arc
 in the document afterwards and report the ones whose endpoints broke —
 the editor's version of the validator's ``arc-endpoint`` rule.
+
+Every successful operation bumps :attr:`CmifDocument.revision`, which is
+what the incremental scheduler (:mod:`repro.timing.incremental`) and the
+schedule cache (:class:`repro.timing.schedule.ScheduleCache`) key on.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.core.errors import PathError, StructureError
 from repro.core.nodes import (ContainerNode, ExtNode, ImmNode, Node,
                               ParNode, SeqNode)
 from repro.core.paths import node_path, resolve_path
+from repro.core.syncarc import SyncArc
 from repro.core.timebase import MediaTime
 from repro.core.tree import iter_preorder
 
@@ -79,6 +86,7 @@ def reorder(document: CmifDocument, parent_path: str, child_name: str,
             f"new index {new_index} out of range for {count} children")
     parent.detach(child)
     parent.insert(new_index, child)
+    document.bump_revision()
     return EditReport(operation="reorder",
                       subject=node_path(child),
                       dangling_arcs=_dangling_arcs(document))
@@ -110,6 +118,7 @@ def splice(document: CmifDocument, node_path_: str, new_parent_path: str,
     if index is not None:
         new_parent.detach(node)
         new_parent.insert(index, node)
+    document.bump_revision()
     return EditReport(operation="splice",
                       subject=node_path(node),
                       dangling_arcs=_dangling_arcs(document))
@@ -153,6 +162,7 @@ def duplicate(document: CmifDocument, node_path_: str,
     parent.add(clone)
     parent.detach(clone)
     parent.insert(index + 1, clone)
+    document.bump_revision()
     return EditReport(operation="duplicate",
                       subject=node_path(clone),
                       dangling_arcs=_dangling_arcs(document))
@@ -169,6 +179,7 @@ def retime(document: CmifDocument, node_path_: str,
     value = (duration if isinstance(duration, MediaTime)
              else MediaTime.ms(float(duration)))
     node.attributes.set("duration", value)
+    document.bump_revision()
     return EditReport(operation="retime", subject=node_path(node))
 
 
@@ -185,5 +196,39 @@ def remove(document: CmifDocument, node_path_: str) -> EditReport:
         raise StructureError("the root cannot be removed")
     subject = node_path(node)
     parent.detach(node)
+    document.bump_revision()
     return EditReport(operation="remove", subject=subject,
                       dangling_arcs=_dangling_arcs(document))
+
+
+def add_arc(document: CmifDocument, owner_path: str,
+            arc: "SyncArc") -> EditReport:
+    """Attach an explicit synchronization arc to the node at ``owner_path``.
+
+    Both endpoints must resolve from the owner before the arc is
+    attached, so an add never introduces a dangling arc.
+    """
+    owner = resolve_path(document.root, owner_path)
+    resolve_path(owner, arc.source)
+    resolve_path(owner, arc.destination)
+    owner.add_arc(arc)
+    document.bump_revision()
+    return EditReport(operation="add-arc", subject=node_path(owner))
+
+
+def remove_arc(document: CmifDocument, owner_path: str,
+               index: int) -> EditReport:
+    """Detach the ``index``-th arc anchored at ``owner_path``."""
+    owner = resolve_path(document.root, owner_path)
+    arcs = owner.arcs
+    if not 0 <= index < len(arcs):
+        raise StructureError(
+            f"arc index {index} out of range for {owner.label()} with "
+            f"{len(arcs)} arc(s)")
+    remaining = arcs[:index] + arcs[index + 1:]
+    if remaining:
+        owner.attributes.set("sync-arc", remaining)
+    else:
+        owner.attributes.remove("sync-arc")
+    document.bump_revision()
+    return EditReport(operation="remove-arc", subject=node_path(owner))

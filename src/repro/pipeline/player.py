@@ -32,7 +32,7 @@ from repro.core.syncarc import Anchor, ConditionalArc, Strictness
 from repro.core.tree import iter_postorder
 from repro.timing.conflicts import (ConflictReport, invalid_arcs_after_seek)
 from repro.timing.intervals import arc_window
-from repro.timing.schedule import Schedule
+from repro.timing.schedule import Schedule, ScheduleCache, schedule_for
 from repro.transport.environments import SystemEnvironment, WORKSTATION
 
 
@@ -132,24 +132,54 @@ class PlaybackReport:
 
 
 class Player:
-    """Discrete-event playback of a schedule on a device model."""
+    """Discrete-event playback of a schedule on a device model.
+
+    Jitter is *deterministic*: every run draws from an explicit
+    :class:`random.Random` — either one passed to :meth:`play` or a
+    fresh ``random.Random(seed)`` per run — never from the module-level
+    ``random`` state.  Replays with the same seed therefore reproduce
+    the same report bit for bit, which is what lets the schedule cache
+    reuse one solved timeline across replays and seeks.
+    """
 
     def __init__(self, environment: SystemEnvironment = WORKSTATION, *,
                  seed: int = 0, prefetch_lead_ms: float = 0.0,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 cache: ScheduleCache | None = None) -> None:
         self.environment = environment
         self.seed = seed
         if prefetch_lead_ms < 0:
             raise PlaybackError("prefetch lead cannot be negative")
         self.prefetch_lead_ms = prefetch_lead_ms
         self.strict = strict
+        self.cache = cache
+
+    def rng_for(self, replay: int = 0) -> random.Random:
+        """The jitter RNG of the ``replay``-th run (seed + replay)."""
+        return random.Random(self.seed + replay)
 
     # -- core playback -----------------------------------------------------
+
+    def play_document(self, document, *, rate: float = 1.0,
+                      freeze_at_ms: float | None = None,
+                      freeze_duration_ms: float = 0.0,
+                      seek_to_ms: float = 0.0,
+                      rng: random.Random | None = None) -> PlaybackReport:
+        """Schedule (through the cache, if any) and play a document.
+
+        Replays and seeks at an unchanged document revision reuse the
+        cached timeline instead of re-running the solver.
+        """
+        schedule = schedule_for(document, cache=self.cache)
+        return self.play(schedule, rate=rate, freeze_at_ms=freeze_at_ms,
+                         freeze_duration_ms=freeze_duration_ms,
+                         seek_to_ms=seek_to_ms, rng=rng)
 
     def play(self, schedule: Schedule, *, rate: float = 1.0,
              freeze_at_ms: float | None = None,
              freeze_duration_ms: float = 0.0,
-             seek_to_ms: float = 0.0) -> PlaybackReport:
+             seek_to_ms: float = 0.0,
+             rng: random.Random | None = None) -> PlaybackReport:
         """Simulate one presentation run.
 
         ``rate`` scales presentation time (2.0 = slow motion at half
@@ -157,7 +187,9 @@ class Player:
         presentation (freeze-frame) at a point, shifting everything after
         it; ``seek_to_ms`` fast-forwards past the beginning, skipping
         events that end before the seek point and triggering the class-3
-        navigation analysis.
+        navigation analysis.  ``rng`` injects the jitter source; when
+        omitted, a fresh ``random.Random(self.seed)`` makes the run
+        reproducible.
         """
         if rate <= 0:
             raise PlaybackError(f"rate must be positive, got {rate}")
@@ -175,7 +207,8 @@ class Player:
             report.navigation_conflicts = invalid_arcs_after_seek(
                 working, seek_to_ms)
 
-        rng = random.Random(self.seed)
+        if rng is None:
+            rng = self.rng_for(0)
         channel_free: dict[str, float] = {}
         actual_times: dict[str, tuple[float, float]] = {}
         for scheduled in sorted(working.events,

@@ -22,7 +22,7 @@ from repro.core.document import CmifDocument
 from repro.core.nodes import ImmNode, Node
 from repro.pipeline.presentation import PresentationMap
 from repro.timing.constraints import arc_table
-from repro.timing.schedule import Schedule
+from repro.timing.schedule import Schedule, ScheduleCache, schedule_for
 
 
 def _node_caption(node: Node) -> str:
@@ -197,3 +197,24 @@ def render_summary(document: CmifDocument, schedule: Schedule | None = None
             f"{name} {fraction * 100.0:.0f}%"
             for name, fraction in sorted(utilization.items())))
     return "\n".join(lines)
+
+
+def render_authoring_view(document: CmifDocument, *,
+                          cache: ScheduleCache | None = None,
+                          slot_ms: float = 2000.0) -> str:
+    """The edit-loop refresh: summary + timeline of the current revision.
+
+    This is what an authoring tool re-renders after every edit.  With a
+    ``cache`` (normally the one the incremental scheduler publishes to),
+    an unchanged revision costs a lookup instead of a solve.
+    """
+    schedule = schedule_for(document, cache=cache)
+    parts = [render_summary(document, schedule), "",
+             render_timeline(schedule, slot_ms=slot_ms)]
+    if schedule.dropped_constraints:
+        parts.append("")
+        parts.append(f"relaxed {len(schedule.dropped_constraints)} may "
+                     f"constraint(s) to make the document schedulable:")
+        parts.extend(f"  - {constraint.describe()}"
+                     for constraint in schedule.dropped_constraints)
+    return "\n".join(parts)

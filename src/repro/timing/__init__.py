@@ -12,25 +12,37 @@ from repro.timing.conflicts import (AUTHORING, ConflictReport, DEVICE,
                                     detect_device_conflicts,
                                     diagnose_authoring,
                                     invalid_arcs_after_seek)
-from repro.timing.constraints import (Constraint, ConstraintKind,
+from repro.timing.constraints import (Constraint, ConstraintDelta,
+                                      ConstraintIndex, ConstraintKind,
                                       ConstraintSystem, TimeVar, VarKind,
-                                      anchor_var, arc_table, begin_var,
-                                      build_constraints, end_var)
+                                      add_arc_delta, anchor_var, arc_table,
+                                      begin_var, build_constraints, end_var,
+                                      remove_arc_delta, retime_delta,
+                                      structural_delta)
+from repro.timing.incremental import EngineStats, IncrementalScheduler
 from repro.timing.intervals import Window, arc_window
-from repro.timing.schedule import (Schedule, ScheduledEvent, make_schedule,
-                                   schedule_document)
-from repro.timing.solver import (RELAXATION_POLICIES, RELAX_DROP_LAST,
+from repro.timing.schedule import (Schedule, ScheduleCache, ScheduledEvent,
+                                   event_order, make_schedule,
+                                   schedule_document, schedule_for,
+                                   wrap_event)
+from repro.timing.solver import (IncrementalOutcome, IncrementalSolver,
+                                 RELAXATION_POLICIES, RELAX_DROP_LAST,
                                  RELAX_DROP_WIDEST, SolverResult,
                                  check_solution, solve)
 
 __all__ = [
-    "AUTHORING", "ConflictReport", "Constraint", "ConstraintKind",
-    "ConstraintSystem", "DEFAULT_TIMEBASE", "DEVICE", "MediaTime",
+    "AUTHORING", "ConflictReport", "Constraint", "ConstraintDelta",
+    "ConstraintIndex", "ConstraintKind", "ConstraintSystem",
+    "DEFAULT_TIMEBASE", "DEVICE", "EngineStats", "IncrementalOutcome",
+    "IncrementalScheduler", "IncrementalSolver", "MediaTime",
     "NAVIGATION", "RELAXATION_POLICIES", "RELAX_DROP_LAST",
-    "RELAX_DROP_WIDEST", "Schedule", "ScheduledEvent", "SolverResult",
-    "TimeBase", "TimeVar", "Unit", "VarKind", "Window", "anchor_var",
-    "arc_table", "arc_window", "begin_var", "build_constraints",
-    "check_solution", "common_ancestor_of_arc", "detect_device_conflicts",
-    "diagnose_authoring", "end_var", "invalid_arcs_after_seek",
-    "make_schedule", "schedule_document", "solve", "times_close",
+    "RELAX_DROP_WIDEST", "Schedule", "ScheduleCache", "ScheduledEvent",
+    "SolverResult", "TimeBase", "TimeVar", "Unit", "VarKind", "Window",
+    "add_arc_delta", "anchor_var", "arc_table", "arc_window", "begin_var",
+    "build_constraints", "check_solution", "common_ancestor_of_arc",
+    "detect_device_conflicts", "diagnose_authoring", "end_var",
+    "event_order", "invalid_arcs_after_seek", "make_schedule",
+    "remove_arc_delta", "retime_delta", "schedule_document",
+    "schedule_for", "solve", "structural_delta", "times_close",
+    "wrap_event",
 ]

@@ -136,6 +136,32 @@ class ConstraintSystem:
                             relaxable=relaxable, arc=arc,
                             note=note or "upper bound"))
 
+    def remove_all(self, removed: list["Constraint"]) -> None:
+        """Remove constraints *by identity* in one pass.
+
+        Identity matters: the system may hold several value-equal
+        constraints (two identical arcs on one node, say) and a delta
+        must only take out the instances it names.
+        """
+        removed_ids = {id(constraint) for constraint in removed}
+        self.constraints = [constraint for constraint in self.constraints
+                            if id(constraint) not in removed_ids]
+
+    def apply_delta(self, delta: "ConstraintDelta") -> None:
+        """Mutate the system per ``delta`` (adds intern new variables).
+
+        Full-rebuild deltas cannot be applied in place; callers must
+        rebuild via :func:`build_constraints`.
+        """
+        if delta.full_rebuild:
+            raise SyncArcError(
+                f"delta requires a full rebuild ({delta.reason}); "
+                f"apply_delta only handles in-place changes")
+        if delta.removed:
+            self.remove_all(delta.removed)
+        for constraint in delta.added:
+            self.add(constraint)
+
     def without(self, dropped: "Constraint") -> "ConstraintSystem":
         """A copy of the system with one constraint removed."""
         clone = ConstraintSystem()
@@ -267,6 +293,172 @@ def _add_explicit_arcs(system: ConstraintSystem, document: CmifDocument,
                 system.upper(dst, src, offset_ms + epsilon_ms,
                              ConstraintKind.EXPLICIT_ARC,
                              relaxable=relaxable, arc=arc, note=note)
+
+
+# ---------------------------------------------------------------------------
+# Incremental deltas: the constraint-level effect of one authoring edit.
+#
+# The authoring loop of section 2 ("view or (possibly) edit a document")
+# re-schedules after every edit.  Rather than rebuilding the whole
+# constraint system, each operation in :mod:`repro.core.edit` maps to a
+# small set of added/removed constraints; the incremental solver
+# (:class:`repro.timing.solver.IncrementalSolver`) then re-relaxes only
+# the affected region.  Edits that change the tree topology (reorder,
+# splice, duplicate, remove) invalidate node paths and the per-channel
+# event order wholesale, so they are declared ``full_rebuild`` instead of
+# being diffed constraint-by-constraint.
+
+
+@dataclass
+class ConstraintDelta:
+    """Added/removed constraints equivalent to one document edit.
+
+    ``removed`` lists live constraint *instances* from the system being
+    edited (identity, not equality).  ``full_rebuild`` marks edits whose
+    effect cannot be expressed as a local diff; ``reason`` says why, for
+    diagnostics and engine statistics.
+    """
+
+    added: list[Constraint] = field(default_factory=list)
+    removed: list[Constraint] = field(default_factory=list)
+    full_rebuild: bool = False
+    reason: str = ""
+
+    @property
+    def empty(self) -> bool:
+        """True when the edit has no scheduling effect at all."""
+        return not (self.added or self.removed or self.full_rebuild)
+
+    def describe(self) -> str:
+        if self.full_rebuild:
+            return f"full rebuild ({self.reason})"
+        return (f"+{len(self.added)}/-{len(self.removed)} constraints"
+                + (f" ({self.reason})" if self.reason else ""))
+
+
+class ConstraintIndex:
+    """Anchor -> live-constraint lookup kept in sync with a system.
+
+    The delta builders need the *current instances* of the constraints an
+    edit replaces: the two duration constraints of a leaf, or every
+    constraint an explicit arc contributed.  Scanning
+    ``system.constraints`` per edit would cost O(E); this index keeps the
+    lookups O(1) and is updated through :meth:`apply` alongside the
+    system itself.
+    """
+
+    def __init__(self, system: ConstraintSystem) -> None:
+        self._duration: dict[str, list[Constraint]] = {}
+        self._by_arc: dict[int, list[Constraint]] = {}
+        for constraint in system.constraints:
+            self._note(constraint)
+
+    def _note(self, constraint: Constraint) -> None:
+        if constraint.arc is not None:
+            self._by_arc.setdefault(id(constraint.arc), []).append(constraint)
+        elif constraint.kind is ConstraintKind.DURATION:
+            self._duration.setdefault(constraint.var.path,
+                                      []).append(constraint)
+
+    def _forget(self, constraint: Constraint) -> None:
+        if constraint.arc is not None:
+            bucket = self._by_arc.get(id(constraint.arc), [])
+        elif constraint.kind is ConstraintKind.DURATION:
+            bucket = self._duration.get(constraint.var.path, [])
+        else:
+            return
+        for position, candidate in enumerate(bucket):
+            if candidate is constraint:
+                del bucket[position]
+                break
+
+    def duration_constraints(self, leaf_path: str) -> list[Constraint]:
+        """The lower+upper duration constraints of the leaf at ``path``."""
+        return list(self._duration.get(leaf_path, []))
+
+    def arc_constraints(self, arc: SyncArc) -> list[Constraint]:
+        """Every constraint contributed by this arc instance."""
+        return list(self._by_arc.get(id(arc), []))
+
+    def apply(self, delta: ConstraintDelta) -> None:
+        """Track a delta that is being applied to the system."""
+        for constraint in delta.removed:
+            self._forget(constraint)
+        for constraint in delta.added:
+            self._note(constraint)
+
+
+def retime_delta(index: ConstraintIndex, leaf_path: str,
+                 new_duration_ms: float, *,
+                 event_id: str | None = None) -> ConstraintDelta:
+    """The delta for :func:`repro.core.edit.retime` on a leaf.
+
+    Replaces the leaf's lower+upper duration constraints with a pair
+    carrying the new weight — exactly the constraints
+    :func:`build_constraints` would emit for the new duration.
+    """
+    removed = index.duration_constraints(leaf_path)
+    begin = TimeVar(leaf_path, VarKind.BEGIN)
+    end = TimeVar(leaf_path, VarKind.END)
+    note = f"duration of {event_id or leaf_path}"
+    added = [
+        Constraint(end, begin, new_duration_ms, ConstraintKind.DURATION,
+                   note=note),
+        Constraint(begin, end, -new_duration_ms, ConstraintKind.DURATION,
+                   note=note),
+    ]
+    return ConstraintDelta(added=added, removed=removed,
+                           reason=f"retime {leaf_path}")
+
+
+def add_arc_delta(document: CmifDocument, owner: Node, arc: SyncArc, *,
+                  include_conditional: bool = False) -> ConstraintDelta:
+    """The delta for :func:`repro.core.edit.add_arc`.
+
+    Mirrors the per-arc translation of ``_add_explicit_arcs``: one lower
+    constraint for the minimum delay, plus an upper constraint when the
+    maximum delay is finite.  Conditional arcs are runtime-only by
+    default and contribute an empty delta.
+    """
+    if isinstance(arc, ConditionalArc) and not include_conditional:
+        return ConstraintDelta(reason="conditional arc (runtime-only)")
+    source = resolve_path(owner, arc.source)
+    destination = resolve_path(owner, arc.destination)
+    src = anchor_var(source, arc.src_anchor)
+    dst = anchor_var(destination, arc.dst_anchor)
+    delta_ms, epsilon_ms = arc.window_ms(document.timebase)
+    offset_ms = document.timebase.to_ms(arc.offset)
+    relaxable = arc.strictness is Strictness.MAY
+    note = f"arc at {node_path(owner)}: {arc.describe()}"
+    added = [Constraint(dst, src, offset_ms + delta_ms,
+                        ConstraintKind.EXPLICIT_ARC,
+                        relaxable=relaxable, arc=arc, note=note)]
+    if epsilon_ms is not None:
+        added.append(Constraint(src, dst, -(offset_ms + epsilon_ms),
+                                ConstraintKind.EXPLICIT_ARC,
+                                relaxable=relaxable, arc=arc, note=note))
+    return ConstraintDelta(added=added,
+                           reason=f"add arc at {node_path(owner)}")
+
+
+def remove_arc_delta(index: ConstraintIndex,
+                     arc: SyncArc) -> ConstraintDelta:
+    """The delta for :func:`repro.core.edit.remove_arc`."""
+    return ConstraintDelta(removed=index.arc_constraints(arc),
+                           reason="remove arc")
+
+
+def structural_delta(operation: str, subject: str) -> ConstraintDelta:
+    """The delta for topology edits (reorder, splice, duplicate, remove).
+
+    Moving or deleting subtrees renames positional node paths and
+    reshuffles the per-channel event order, invalidating constraints far
+    from the edit site — the cases the incremental engine hands back to a
+    full rebuild.
+    """
+    return ConstraintDelta(
+        full_rebuild=True,
+        reason=f"{operation} {subject}: topology change")
 
 
 def arc_table(compiled: CompiledDocument, *,

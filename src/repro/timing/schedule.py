@@ -10,11 +10,12 @@ viewing tools.
 from __future__ import annotations
 
 import bisect
+import collections
 from dataclasses import dataclass, field
 
 from repro.core.descriptors import EventDescriptor
-from repro.core.document import CompiledDocument
-from repro.core.errors import SchedulingConflict
+from repro.core.document import CmifDocument, CompiledDocument
+from repro.core.errors import SchedulingConflict, ValueError_
 from repro.core.timebase import times_close
 from repro.timing.constraints import (Constraint, ConstraintSystem,
                                       TimeVar, VarKind, begin_var,
@@ -157,35 +158,153 @@ class Schedule:
         )
 
 
+class ScheduleCache:
+    """Solved schedules keyed by document revision (LRU, bounded).
+
+    The authoring loop and the player re-request the same timeline many
+    times — across seeks, replays, and view refreshes — while the
+    document itself only changes when an edit bumps
+    :attr:`~repro.core.document.CmifDocument.revision`.  The cache keys
+    on ``(document identity, revision, solve parameters)``, so a stale
+    schedule can never be served: any edit moves the document to a new
+    key.  Entries hold a reference to their document, which both pins
+    the identity and keeps ``id()`` reuse impossible.
+
+    The incremental engine (:mod:`repro.timing.incremental`) publishes
+    its patched schedule here after every edit, so cache consumers get
+    incremental re-solves for free.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError_(f"cache capacity must be positive, "
+                              f"got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: collections.OrderedDict[
+            tuple, tuple[CmifDocument, Schedule]] = collections.OrderedDict()
+
+    @staticmethod
+    def _key(document: CmifDocument, channel_serialization: bool,
+             relaxation_policy: str) -> tuple:
+        return (id(document), document.revision, channel_serialization,
+                relaxation_policy)
+
+    def get(self, document: CmifDocument, *,
+            channel_serialization: bool = True,
+            relaxation_policy: str = RELAX_DROP_LAST) -> Schedule | None:
+        """The cached schedule for the document's current revision."""
+        key = self._key(document, channel_serialization, relaxation_policy)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, document: CmifDocument, schedule: Schedule, *,
+            channel_serialization: bool = True,
+            relaxation_policy: str = RELAX_DROP_LAST) -> None:
+        """Store a schedule under the document's current revision."""
+        key = self._key(document, channel_serialization, relaxation_policy)
+        self._entries[key] = (document, schedule)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def schedule_for(self, document: CmifDocument, *,
+                     channel_serialization: bool = True,
+                     relaxation_policy: str = RELAX_DROP_LAST) -> Schedule:
+        """The document's schedule, compiled and solved at most once.
+
+        On a miss this pays the full compile → build → solve → wrap
+        pipeline; every further call at the same revision is a lookup.
+        """
+        cached = self.get(document,
+                          channel_serialization=channel_serialization,
+                          relaxation_policy=relaxation_policy)
+        if cached is not None:
+            return cached
+        schedule = schedule_document(
+            document.compile(),
+            channel_serialization=channel_serialization,
+            relaxation_policy=relaxation_policy)
+        self.put(document, schedule,
+                 channel_serialization=channel_serialization,
+                 relaxation_policy=relaxation_policy)
+        return schedule
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self) -> str:
+        return (f"schedule cache: {len(self._entries)} entr(y/ies), "
+                f"{self.hits} hit(s), {self.misses} miss(es)")
+
+
 def schedule_document(compiled: CompiledDocument, *,
                       channel_serialization: bool = True,
-                      relaxation_policy: str = RELAX_DROP_LAST
+                      relaxation_policy: str = RELAX_DROP_LAST,
+                      cache: ScheduleCache | None = None
                       ) -> Schedule:
     """Compile-to-timeline in one call: build constraints, solve, wrap.
 
     This is the main scheduling entry point used by the player, viewer
-    and benches.
+    and benches.  With ``cache``, the solve is skipped whenever the
+    document's revision already has a schedule.
     """
+    if cache is not None:
+        cached = cache.get(compiled.document,
+                           channel_serialization=channel_serialization,
+                           relaxation_policy=relaxation_policy)
+        if cached is not None:
+            return cached
     system = build_constraints(
         compiled, channel_serialization=channel_serialization)
     result = solve(system, relaxation_policy=relaxation_policy)
-    return make_schedule(compiled, system, result)
+    schedule = make_schedule(compiled, system, result)
+    if cache is not None:
+        cache.put(compiled.document, schedule,
+                  channel_serialization=channel_serialization,
+                  relaxation_policy=relaxation_policy)
+    return schedule
+
+
+def wrap_event(event: EventDescriptor,
+               times_ms: dict[TimeVar, float]) -> ScheduledEvent:
+    """One event's solved interval, checked against its duration.
+
+    The single place the span-equals-duration contract lives; both the
+    full wrap below and the incremental engine's schedule patch use it,
+    so the two paths cannot drift apart.
+    """
+    begin = times_ms[begin_var(event.node_path)]
+    end = times_ms[end_var(event.node_path)]
+    if not times_close(end - begin, event.duration_ms, 1e-3):
+        raise SchedulingConflict(
+            f"solver assigned {event.event_id} a span of "
+            f"{end - begin:g}ms but its duration is "
+            f"{event.duration_ms:g}ms")
+    return ScheduledEvent(event, begin, end)
+
+
+def event_order(event: ScheduledEvent) -> tuple[float, float, str]:
+    """The canonical sort key of a schedule's event list."""
+    return (event.begin_ms, event.end_ms, event.event.event_id)
 
 
 def make_schedule(compiled: CompiledDocument, system: ConstraintSystem,
                   result: SolverResult) -> Schedule:
     """Wrap a solver result into a :class:`Schedule`."""
-    events: list[ScheduledEvent] = []
-    for event in compiled.events:
-        begin = result.times_ms[begin_var(event.node_path)]
-        end = result.times_ms[end_var(event.node_path)]
-        if not times_close(end - begin, event.duration_ms, 1e-3):
-            raise SchedulingConflict(
-                f"solver assigned {event.event_id} a span of "
-                f"{end - begin:g}ms but its duration is "
-                f"{event.duration_ms:g}ms")
-        events.append(ScheduledEvent(event, begin, end))
-    events.sort(key=lambda e: (e.begin_ms, e.end_ms, e.event.event_id))
+    events = [wrap_event(event, result.times_ms)
+              for event in compiled.events]
+    events.sort(key=event_order)
     return Schedule(
         compiled=compiled,
         times_ms=result.times_ms,
@@ -193,3 +312,20 @@ def make_schedule(compiled: CompiledDocument, system: ConstraintSystem,
         dropped_constraints=result.dropped,
         solver_iterations=result.iterations,
     )
+
+
+def schedule_for(document: CmifDocument, *,
+                 cache: ScheduleCache | None = None,
+                 channel_serialization: bool = True,
+                 relaxation_policy: str = RELAX_DROP_LAST) -> Schedule:
+    """The document's schedule, through a cache when one is given.
+
+    The one cache-or-solve branch the player, viewer and CLI share.
+    """
+    if cache is not None:
+        return cache.schedule_for(
+            document, channel_serialization=channel_serialization,
+            relaxation_policy=relaxation_policy)
+    return schedule_document(
+        document.compile(), channel_serialization=channel_serialization,
+        relaxation_policy=relaxation_policy)

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.errors import SchedulingConflict
-from repro.timing.constraints import (Constraint, ConstraintKind,
-                                      ConstraintSystem, TimeVar)
+from repro.timing.constraints import (Constraint, ConstraintDelta,
+                                      ConstraintKind, ConstraintSystem,
+                                      TimeVar)
 
 #: Relaxation policies for may-arc conflicts (ablation axis).
 RELAX_DROP_LAST = "drop-last"
@@ -106,57 +108,154 @@ def _solve_once(system: ConstraintSystem,
 
     dist = [0.0] * count          # every event starts no earlier than root
     predecessor: list[Constraint | None] = [None] * count
+    # Phase 1: one pass in topological order of the non-negative edges.
+    # Real documents are almost pure DAGs there (upper bounds are the
+    # only negative edges), so this settles nearly every variable with
+    # exactly one relaxation per edge.  Naive label-correcting instead
+    # climbs in waves — a par fork hands the whole region estimate 0 and
+    # every chain variable is then re-relaxed O(chain length) times.
+    dirty = _topological_pass(outgoing, dist, predecessor, None, count)
+    # Phase 2: label-correcting cleanup for whatever phase 1 cannot
+    # order — binding upper bounds and variables on (zero or positive)
+    # cycles — with the positive-cycle certificate for the latter.  On
+    # clean documents ``dirty`` is empty and this costs nothing.
+    if dirty:
+        _spfa(outgoing, dist, predecessor, dirty, index)
+
+    return {var: dist[index[var]] for var in system.variables}
+
+
+def _topological_pass(outgoing: list[list[tuple[int, float, "Constraint"]]],
+                      dist: list[float],
+                      predecessor: list["Constraint | None"],
+                      nodes: "Iterable[int] | None", count: int,
+                      skipped: set[int] | None = None) -> list[int]:
+    """Kahn's algorithm over the non-negative edges among ``nodes``.
+
+    ``nodes=None`` means the whole graph.  Relaxes every edge (negative
+    ones included) out of each processed variable and returns the
+    variables that may still be unsettled: members a non-negative cycle
+    kept out of the topological order, plus targets a negative edge
+    actually moved after they were ordered.  The SPFA cleanup only needs
+    to start from those.
+    """
+    if nodes is None:
+        member = None
+        members: list[int] = list(range(count))
+    else:
+        members = list(nodes)
+        member = bytearray(count)
+        for node in members:
+            member[node] = 1
+    indegree = [0] * count
+    for node in members:
+        for target, weight, constraint in outgoing[node]:
+            if skipped and id(constraint) in skipped:
+                continue
+            if weight >= 0.0 and (member is None or member[target]):
+                indegree[target] += 1
+    ready = collections.deque(
+        node for node in members if indegree[node] == 0)
+    dirty: list[int] = []
+    popped = 0
+    while ready:
+        here = ready.popleft()
+        popped += 1
+        base_dist = dist[here]
+        for target, weight, constraint in outgoing[here]:
+            if skipped and id(constraint) in skipped:
+                continue
+            if member is None or member[target]:
+                candidate = base_dist + weight
+                if candidate > dist[target] + 1e-9:
+                    dist[target] = candidate
+                    predecessor[target] = constraint
+                    if weight < 0.0:
+                        # Ordered before this inflow existed; revisit.
+                        dirty.append(target)
+                if weight >= 0.0:
+                    indegree[target] -= 1
+                    if indegree[target] == 0:
+                        ready.append(target)
+    if popped < len(members):
+        # Non-negative cycles (zero cycles are feasible, positive ones
+        # are conflicts): every unordered member goes to the cleanup.
+        ordered = [False] * count
+        for node in members:
+            if indegree[node] == 0:
+                ordered[node] = True
+        dirty.extend(node for node in members if not ordered[node])
+    return dirty
+
+
+def _spfa(outgoing: list[list[tuple[int, float, "Constraint"]]],
+          dist: list[float], predecessor: list["Constraint | None"],
+          seeds: Iterable[int], index: dict[TimeVar, int],
+          skipped: set[int] | None = None) -> set[int]:
+    """Queue-based relaxation to fixpoint; returns the changed indices.
+
+    Raises :class:`_Infeasible` with a certified cycle: a relax count
+    beyond |V| is only suspicion (legitimate on interleaved chains), a
+    loop in the predecessor graph is proof.
+    """
+    count = len(dist)
     relax_count = [0] * count
     in_queue = [False] * count
-    queue: collections.deque[int] = collections.deque(range(count))
-    for node in queue:
-        in_queue[node] = True
-    # Seed the root explicitly; its distance is the reference point 0.
-    dist[root] = 0.0
-
+    queue: collections.deque[int] = collections.deque()
+    for seed in seeds:
+        if not in_queue[seed]:
+            queue.append(seed)
+            in_queue[seed] = True
+    changed: set[int] = set()
     while queue:
         here = queue.popleft()
         in_queue[here] = False
         base_dist = dist[here]
         for target, weight, constraint in outgoing[here]:
+            if skipped and id(constraint) in skipped:
+                continue
             candidate = base_dist + weight
             if candidate > dist[target] + 1e-9:
                 dist[target] = candidate
                 predecessor[target] = constraint
+                changed.add(target)
                 relax_count[target] += 1
                 if relax_count[target] > count:
-                    raise _Infeasible(_trace_cycle(predecessor, target,
-                                                   index))
+                    cycle = _find_cycle(predecessor, target, index)
+                    if cycle is None:
+                        relax_count[target] = 1
+                    else:
+                        raise _Infeasible(cycle)
                 if not in_queue[target]:
                     queue.append(target)
                     in_queue[target] = True
+    return changed
 
-    return {var: dist[index[var]] for var in system.variables}
 
+def _find_cycle(predecessor: list["Constraint | None"], start: int,
+                index: dict[TimeVar, int]) -> list[Constraint] | None:
+    """The positive cycle in the predecessor graph through ``start``.
 
-def _trace_cycle(predecessor: list["Constraint | None"], start: int,
-                 index: dict[TimeVar, int]) -> list[Constraint]:
-    """Walk predecessor constraints back from ``start`` to extract a cycle."""
-    # Step back `len(index)` times to guarantee we are inside the cycle,
-    # then collect constraints until the first repeat.
-    var_of = {i: var for var, i in index.items()}
+    Walks supporting constraints backward from ``start``; a repeated
+    variable proves a cycle (a loop in the SPFA parent graph always has
+    positive total weight, the longest-path analogue of the classic
+    negative-cycle certificate).  Returns ``None`` when the walk ends at
+    an unsupported variable — the suspicion was a false alarm.
+    """
+    seen: dict[int, int] = {}
+    chain: list[Constraint] = []
     node = start
-    for _ in range(len(index)):
+    while True:
         constraint = predecessor[node]
         if constraint is None:
-            break
+            return None
+        if node in seen:
+            cycle = chain[seen[node]:]
+            cycle.reverse()
+            return cycle
+        seen[node] = len(chain)
+        chain.append(constraint)
         node = index[constraint.base]
-    cycle: list[Constraint] = []
-    seen: set[int] = set()
-    while node not in seen:
-        seen.add(node)
-        constraint = predecessor[node]
-        if constraint is None:
-            break
-        cycle.append(constraint)
-        node = index[constraint.base]
-    cycle.reverse()
-    return cycle or [c for c in predecessor if c is not None][:1]
 
 
 def _pick_relaxable(cycle: list[Constraint],
@@ -212,6 +311,304 @@ def solve(system: ConstraintSystem, *,
                     cycle=infeasible.cycle) from None
             skipped.add(id(victim))
             dropped.append(victim)
+
+
+# ---------------------------------------------------------------------------
+# Incremental re-relaxation (the authoring loop's re-solve step).
+
+
+@dataclass(frozen=True)
+class IncrementalOutcome:
+    """How one delta was absorbed.
+
+    ``mode`` is ``"incremental"`` (seeded re-relaxation of the affected
+    region), ``"full"`` (fallback from-scratch solve) or ``"noop"`` (the
+    delta had no scheduling effect).  ``changed`` holds the variables
+    whose times moved; ``None`` means potentially all of them.
+    """
+
+    mode: str
+    changed: set[TimeVar] | None
+    reason: str = ""
+
+
+class IncrementalSolver:
+    """Persistent SPFA state that absorbs constraint deltas.
+
+    A full solve computes the pointwise-minimal feasible assignment —
+    the least fixpoint of max-relaxation above the root anchor.  Two
+    monotonicity facts make edits cheap:
+
+    * *adding* constraints can only push times later, so the previous
+      solution is a valid seed: enqueue the new constraints' bases and
+      re-relax;
+    * *removing* constraints can only pull times earlier, and only for
+      variables whose supporting (longest) path used a removed
+      constraint.  The solver tracks each variable's supporting
+      constraint (its SPFA predecessor); on removal, the transitively
+      supported region is reset to the root anchor and re-relaxed from
+      its unaffected frontier.
+
+    Both cases perform the same ``dist[base] + weight`` arithmetic as the
+    full solve, so the re-relaxed times are identical to a from-scratch
+    solve of the updated system (equality the property tests assert).
+
+    Fallbacks to a full solve happen when (a) a re-relaxation uncovers a
+    positive cycle — resolving it may require dropping *may* constraints,
+    which is inherently global — or (b) the previous solve already
+    dropped may constraints (an edit may allow one to be reinstated).
+    Topology-changing edits never reach this class; the engine rebuilds
+    the system and a fresh solver instead.
+    """
+
+    def __init__(self, system: ConstraintSystem, *,
+                 relaxation_policy: str = RELAX_DROP_LAST) -> None:
+        if relaxation_policy not in RELAXATION_POLICIES:
+            raise SchedulingConflict(
+                f"unknown relaxation policy {relaxation_policy!r}; expected "
+                f"one of {RELAXATION_POLICIES}")
+        if system.root_begin is None:
+            raise SchedulingConflict("constraint system has no root anchor")
+        self.system = system
+        self.relaxation_policy = relaxation_policy
+        self.full_solves = 0
+        self.incremental_solves = 0
+        self._index: dict[TimeVar, int] = dict(system.var_index)
+        self._root = self._index[system.root_begin]
+        count = len(system.variables)
+        self._outgoing: list[list[tuple[int, float, Constraint]]] = [
+            [] for _ in range(count)]
+        self._incoming: list[list[tuple[int, float, Constraint]]] = [
+            [] for _ in range(count)]
+        for constraint in system.constraints:
+            self._attach(constraint)
+        root_var = system.root_begin
+        for var, position in self._index.items():
+            if position != self._root:
+                self._attach(Constraint(var, root_var, 0.0,
+                                        ConstraintKind.ROOT_ANCHOR,
+                                        note="implied arc with the root"))
+        self._dist: list[float] = [0.0] * count
+        self._pred: list[Constraint | None] = [None] * count
+        self._times: dict[TimeVar, float] = {}
+        self._dropped: list[Constraint] = []
+        self._skipped: set[int] = set()
+        self._iterations = 0
+        self._degraded = False
+        self._conflict: SchedulingConflict | None = None
+        self._full_resolve()
+
+    # -- adjacency ------------------------------------------------------
+
+    def _attach(self, constraint: Constraint) -> None:
+        base = self._index[constraint.base]
+        var = self._index[constraint.var]
+        self._outgoing[base].append((var, constraint.weight_ms, constraint))
+        self._incoming[var].append((base, constraint.weight_ms, constraint))
+
+    def _detach(self, constraint: Constraint) -> None:
+        base = self._index[constraint.base]
+        var = self._index[constraint.var]
+        self._outgoing[base] = [edge for edge in self._outgoing[base]
+                                if edge[2] is not constraint]
+        self._incoming[var] = [edge for edge in self._incoming[var]
+                               if edge[2] is not constraint]
+
+    def _extend_arrays(self) -> None:
+        """Grow state for variables a delta interned into the system."""
+        variables = self.system.variables
+        root_var = self.system.root_begin
+        while len(self._dist) < len(variables):
+            var = variables[len(self._dist)]
+            self._index[var] = len(self._dist)
+            self._outgoing.append([])
+            self._incoming.append([])
+            self._dist.append(0.0)
+            self._pred.append(None)
+            self._times[var] = 0.0
+            self._attach(Constraint(var, root_var, 0.0,
+                                    ConstraintKind.ROOT_ANCHOR,
+                                    note="implied arc with the root"))
+
+    # -- relaxation -----------------------------------------------------
+
+    def _full_resolve(self) -> None:
+        """From-scratch solve with the may-relaxation loop of :func:`solve`."""
+        count = len(self._dist)
+        relaxable_total = sum(
+            1 for constraint in self.system.constraints
+            if constraint.relaxable)
+        skipped: set[int] = set()
+        dropped: list[Constraint] = []
+        iterations = 0
+        while True:
+            iterations += 1
+            self._dist[:] = [0.0] * count
+            self._pred[:] = [None] * count
+            try:
+                dirty = _topological_pass(self._outgoing, self._dist,
+                                          self._pred, None, count, skipped)
+                if dirty:
+                    _spfa(self._outgoing, self._dist, self._pred,
+                          dirty, self._index, skipped)
+                break
+            except _Infeasible as infeasible:
+                victim = _pick_relaxable(infeasible.cycle,
+                                         self.relaxation_policy)
+                if victim is None or len(dropped) >= relaxable_total:
+                    self._conflict = SchedulingConflict(
+                        "unsatisfiable synchronization constraints "
+                        "(conflict class 1, section 5.3.3): "
+                        + "; ".join(c.describe() for c in infeasible.cycle),
+                        cycle=infeasible.cycle)
+                    raise self._conflict from None
+                skipped.add(id(victim))
+                dropped.append(victim)
+        self._dropped = dropped
+        self._skipped = skipped
+        self._iterations = iterations
+        self._degraded = bool(dropped)
+        self._conflict = None
+        self._times = {var: self._dist[position]
+                       for var, position in self._index.items()}
+        self.full_solves += 1
+
+    # -- support tracking -----------------------------------------------
+
+    def _supported_by(self, removed_ids: set[int]) -> set[int]:
+        """Indices whose value may rest on a removed constraint.
+
+        A variable's longest path can only shrink if its supporting
+        chain (the SPFA predecessors) crosses a removed constraint;
+        everything else keeps its exact value.
+        """
+        if not removed_ids:
+            return set()
+        pred = self._pred
+        affected = {position for position, constraint in enumerate(pred)
+                    if constraint is not None
+                    and id(constraint) in removed_ids}
+        if not affected:
+            return affected
+        dependents: dict[int, list[int]] = {}
+        for position, constraint in enumerate(pred):
+            if constraint is None:
+                continue
+            dependents.setdefault(self._index[constraint.base],
+                                  []).append(position)
+        frontier = list(affected)
+        while frontier:
+            base = frontier.pop()
+            for dependent in dependents.get(base, ()):
+                if dependent not in affected:
+                    affected.add(dependent)
+                    frontier.append(dependent)
+        return affected
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when the current solution rests on dropped may arcs."""
+        return self._degraded
+
+    @property
+    def result(self) -> SolverResult:
+        """A snapshot of the current solution (raises after a conflict)."""
+        if self._conflict is not None:
+            raise self._conflict
+        return SolverResult(times_ms=dict(self._times),
+                            dropped=list(self._dropped),
+                            iterations=self._iterations)
+
+    def apply(self, delta: ConstraintDelta, *,
+              resolve_fallback: bool = True) -> IncrementalOutcome:
+        """Absorb ``delta``: update the system, then re-relax or fall back.
+
+        The solver owns applying the delta to ``self.system`` (callers
+        must not call ``apply_delta`` separately).  Raises
+        :class:`SchedulingConflict` when the edited system has a cycle of
+        must constraints; a later delta may make it feasible again.
+
+        With ``resolve_fallback=False``, a fallback condition returns a
+        ``"full"`` outcome *without* re-solving, leaving the solver
+        stale; the caller must then discard it and rebuild.  The engine
+        uses this to redo fallbacks on a canonically rebuilt system, so
+        order-sensitive may-arc drop choices match a from-scratch solve
+        exactly.
+        """
+        if delta.full_rebuild:
+            raise SchedulingConflict(
+                f"topology delta ({delta.reason}) needs a rebuilt system "
+                f"and a fresh IncrementalSolver")
+        if delta.empty:
+            return IncrementalOutcome("noop", set(), delta.reason)
+
+        removed_ids = {id(constraint) for constraint in delta.removed}
+        for constraint in delta.removed:
+            self._detach(constraint)
+        self.system.remove_all(delta.removed)
+        for constraint in delta.added:
+            self.system.add(constraint)
+        self._extend_arrays()
+        for constraint in delta.added:
+            self._attach(constraint)
+
+        if self._conflict is not None:
+            return self._fallback("retrying after an unschedulable edit",
+                                  resolve_fallback)
+        if self._degraded:
+            return self._fallback(
+                "previous solve dropped may constraints; revalidating",
+                resolve_fallback)
+
+        affected = self._supported_by(removed_ids)
+        # Phase 0: re-anchor every affected variable on its unaffected
+        # inflow — frontier values are final, and the implied root arc
+        # floors everything at 0.  Intra-region inflow is re-derived by
+        # the next two phases.
+        for position in affected:
+            best = 0.0
+            best_constraint: Constraint | None = None
+            for base, weight, constraint in self._incoming[position]:
+                if base in affected or id(constraint) in self._skipped:
+                    continue
+                candidate = self._dist[base] + weight
+                if candidate > best + 1e-9:
+                    best = candidate
+                    best_constraint = constraint
+            self._dist[position] = best
+            self._pred[position] = best_constraint
+        # Phase 1: topological pass over the region's internal edges.
+        _topological_pass(self._outgoing, self._dist, self._pred,
+                          affected, len(self._dist), self._skipped)
+        # Phase 2: label-correcting cleanup, plus propagation out of the
+        # region and from any added constraints.
+        seeds: set[int] = set(affected)
+        for constraint in delta.added:
+            seeds.add(self._index[constraint.base])
+        try:
+            changed = _spfa(self._outgoing, self._dist, self._pred,
+                            seeds, self._index, self._skipped)
+        except _Infeasible:
+            return self._fallback(
+                "edit made the region infeasible; re-solving with may "
+                "relaxation", resolve_fallback)
+        changed |= affected
+        variables = self.system.variables
+        changed_vars: set[TimeVar] = set()
+        for position in changed:
+            var = variables[position]
+            self._times[var] = self._dist[position]
+            changed_vars.add(var)
+        self.incremental_solves += 1
+        return IncrementalOutcome("incremental", changed_vars, delta.reason)
+
+    def _fallback(self, reason: str,
+                  resolve: bool = True) -> IncrementalOutcome:
+        if resolve:
+            self._full_resolve()
+        return IncrementalOutcome("full", None, reason)
 
 
 def check_solution(system: ConstraintSystem, times_ms: dict[TimeVar, float],
