@@ -12,6 +12,8 @@ tools, one subcommand per pipeline capability:
   report arc audits;
 * ``negotiate`` — the can-this-system-play-this-document check;
 * ``pack`` / ``unpack`` — transport packaging;
+* ``query`` — attribute search over a package's descriptor store,
+  optionally printing the planner's chosen index plan (``--explain``);
 * ``news`` — emit the built-in Evening News corpus as CMIF text.
 
 Usage::
@@ -28,6 +30,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.core.channels import Medium
 from repro.core.document import CmifDocument
 from repro.core.errors import CmifError
 from repro.core.validate import ERROR, validate_document
@@ -160,6 +163,87 @@ def cmd_unpack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_attr_criterion(raw: str) -> tuple[str, object]:
+    """Parse one ``name=value`` criterion (value coerced to a number
+    when it looks like one)."""
+    name, separator, text = raw.partition("=")
+    if not separator or not name:
+        raise CmifError(f"--attr expects name=value, got {raw!r}")
+    value: object = text
+    try:
+        value = int(text)
+    except ValueError:
+        try:
+            value = float(text)
+        except ValueError:
+            pass
+    return name, value
+
+
+def build_query(args: argparse.Namespace):
+    """The query AST the ``query`` subcommand's flags describe."""
+    from repro.store import (always, attr_eq, attr_range,
+                             duration_between, keyword, medium_is)
+    parts = []
+    for word in args.keyword or ():
+        parts.append(keyword(word))
+    if args.medium:
+        parts.append(medium_is(args.medium))
+    for raw in args.attr or ():
+        name, value = _parse_attr_criterion(raw)
+        parts.append(attr_eq(name, value))
+    for raw in args.range or ():
+        name, value = _parse_attr_criterion(raw)
+        bounds = str(value).split(":")
+        if len(bounds) != 2:
+            raise CmifError(f"--range expects name=min:max, got {raw!r}")
+        try:
+            minimum = float(bounds[0]) if bounds[0] else None
+            maximum = float(bounds[1]) if bounds[1] else None
+        except ValueError:
+            raise CmifError(f"--range expects numeric bounds, "
+                            f"got {raw!r}") from None
+        parts.append(attr_range(name, minimum, maximum))
+    if args.min_duration is not None or args.max_duration is not None:
+        parts.append(duration_between(args.min_duration,
+                                      args.max_duration))
+    if not parts:
+        return always()
+    query = parts[0]
+    for part in parts[1:]:
+        query = query & part
+    return query
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    text = Path(args.package).read_text(encoding="utf-8")
+    if not text.lstrip().startswith("{"):
+        print("error: query needs a transport package — descriptors "
+              "travel in packages, not in the bare text form "
+              "(make one with `pack` or `news --package`)",
+              file=sys.stderr)
+        return 2
+    from repro.store import execute_plan
+    from repro.transport.package import unpack
+    store = unpack(text).store
+    query = build_query(args)
+    plan = store.explain(query)
+    if args.explain:
+        print(plan.describe())
+    store.stats.reset()
+    results = execute_plan(store, plan)
+    for descriptor in results:
+        keywords = descriptor.get("keywords", ())
+        noted = (f"  keywords={','.join(map(str, keywords))}"
+                 if keywords else "")
+        print(f"{descriptor.descriptor_id}  "
+              f"[{descriptor.medium.value}]{noted}")
+    print(f"{len(results)} match(es) out of {len(store)} descriptors; "
+          f"{store.stats.attribute_reads} attribute read(s), "
+          f"{store.stats.payload_reads} payload read(s)")
+    return 0
+
+
 def cmd_news(args: argparse.Namespace) -> int:
     from repro.corpus import make_news_document
     corpus = make_news_document(stories=args.stories, seed=args.seed)
@@ -244,6 +328,25 @@ def build_parser() -> argparse.ArgumentParser:
     unpack_cmd.add_argument("package")
     unpack_cmd.add_argument("-o", "--output", required=True)
     unpack_cmd.set_defaults(handler=cmd_unpack)
+
+    query = commands.add_parser(
+        "query", help="attribute search over a package's descriptors")
+    query.add_argument("package")
+    query.add_argument("--keyword", action="append",
+                       help="require this search keyword (repeatable, "
+                            "ANDed)")
+    query.add_argument("--medium",
+                       choices=tuple(m.value for m in Medium))
+    query.add_argument("--attr", action="append", metavar="NAME=VALUE",
+                       help="require attribute equality (repeatable)")
+    query.add_argument("--range", action="append", metavar="NAME=MIN:MAX",
+                       help="require a numeric attribute range; leave a "
+                            "bound empty for open-ended (repeatable)")
+    query.add_argument("--min-duration", type=float, metavar="MS")
+    query.add_argument("--max-duration", type=float, metavar="MS")
+    query.add_argument("--explain", action="store_true",
+                       help="print the planner's chosen index plan")
+    query.set_defaults(handler=cmd_query)
 
     news = commands.add_parser("news",
                                help="emit the Evening News corpus")

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import PlaybackError
 from repro.core.nodes import Node
-from repro.core.paths import node_path, resolve_path
+from repro.core.paths import node_path, path_map, resolve_path
 from repro.core.syncarc import Anchor, ConditionalArc, Strictness
 from repro.core.tree import iter_postorder
 from repro.timing.conflicts import (ConflictReport, invalid_arcs_after_seek)
@@ -153,6 +153,24 @@ class Player:
         self.prefetch_lead_ms = prefetch_lead_ms
         self.strict = strict
         self.cache = cache
+        # One-slot node-path cache: replays and seeks audit the same
+        # compiled document over and over; holding the compiled object
+        # pins its identity, and the revision guards against edits.
+        self._paths_compiled = None
+        self._paths_revision: int | None = None
+        self._paths: dict[int, str] | None = None
+
+    def _paths_for(self, schedule: Schedule) -> dict[int, str]:
+        """Root-relative paths for the schedule's document, cached."""
+        compiled = schedule.compiled
+        revision = compiled.document.revision
+        if (self._paths_compiled is not compiled
+                or self._paths_revision != revision
+                or self._paths is None):
+            self._paths = path_map(compiled.document.root)
+            self._paths_compiled = compiled
+            self._paths_revision = revision
+        return self._paths
 
     def rng_for(self, replay: int = 0) -> random.Random:
         """The jitter RNG of the ``replay``-th run (seed + replay)."""
@@ -190,6 +208,14 @@ class Player:
         navigation analysis.  ``rng`` injects the jitter source; when
         omitted, a fresh ``random.Random(self.seed)`` makes the run
         reproducible.
+
+        Events are dispatched in the schedule's canonical
+        :func:`~repro.timing.schedule.event_order` (begin, end, id) —
+        the one order every schedule consumer shares, cached on the
+        schedule across replays.  Events tying on *begin* break the
+        tie on end time before id (previously id only), which can
+        reorder the jitter draws of simultaneous events relative to
+        pre-planner releases; any single seed remains bit-reproducible.
         """
         if rate <= 0:
             raise PlaybackError(f"rate must be positive, got {rate}")
@@ -211,8 +237,7 @@ class Player:
             rng = self.rng_for(0)
         channel_free: dict[str, float] = {}
         actual_times: dict[str, tuple[float, float]] = {}
-        for scheduled in sorted(working.events,
-                                key=lambda e: (e.begin_ms, e.event.event_id)):
+        for scheduled in working.ordered_events():
             if scheduled.end_ms <= seek_to_ms:
                 continue
             medium = scheduled.event.medium
@@ -255,7 +280,9 @@ class Player:
                     actual_times: dict[str, tuple[float, float]]
                     ) -> list[ArcAudit]:
         document = schedule.compiled.document
-        node_times = _node_actual_times(document.root, actual_times)
+        paths = self._paths_for(schedule)
+        node_times = _node_actual_times(document.root, actual_times,
+                                        paths)
         audits: list[ArcAudit] = []
         for node in _nodes_with_arcs(document.root):
             for arc in node.arcs:
@@ -277,7 +304,7 @@ class Player:
                 # [delta, epsilon] tolerance stays authored-real-time.
                 window = arc_window(arc, tref, document.timebase)
                 audits.append(ArcAudit(
-                    owner_path=node_path(node),
+                    owner_path=paths.get(id(node)) or node_path(node),
                     arc_description=arc.describe(),
                     strictness=arc.strictness,
                     window=str(window),
@@ -294,13 +321,17 @@ def _nodes_with_arcs(root: Node):
 
 
 def _node_actual_times(root: Node,
-                       leaf_times: dict[str, tuple[float, float]]
+                       leaf_times: dict[str, tuple[float, float]],
+                       paths: dict[int, str] | None = None
                        ) -> dict[int, tuple[float, float]]:
     """Realized (begin, end) for every node, composed up from leaves."""
+    if paths is None:
+        paths = path_map(root)
     times: dict[int, tuple[float, float]] = {}
     for node in iter_postorder(root):
         if node.is_leaf:
-            played = leaf_times.get(node_path(node))
+            played = leaf_times.get(paths.get(id(node))
+                                    or node_path(node))
             if played is not None:
                 times[id(node)] = played
             continue
@@ -313,17 +344,23 @@ def _node_actual_times(root: Node,
 
 
 def _scaled(schedule: Schedule, rate: float) -> Schedule:
-    """The schedule with all times multiplied by ``rate``."""
+    """The schedule with all times multiplied by ``rate``.
+
+    A positive scale preserves the canonical event order, so the copy
+    is built from (and pre-seeds) the cached order.
+    """
     from repro.timing.schedule import ScheduledEvent
-    return Schedule(
+    events = [ScheduledEvent(e.event, e.begin_ms * rate, e.end_ms * rate)
+              for e in schedule.ordered_events()]
+    scaled = Schedule(
         compiled=schedule.compiled,
         times_ms={var: t * rate for var, t in schedule.times_ms.items()},
-        events=[ScheduledEvent(e.event, e.begin_ms * rate,
-                               e.end_ms * rate)
-                for e in schedule.events],
+        events=events,
         dropped_constraints=list(schedule.dropped_constraints),
         solver_iterations=schedule.solver_iterations,
     )
+    scaled._ordered = tuple(events)
+    return scaled
 
 
 def _frozen(schedule: Schedule, at_ms: float,
@@ -337,7 +374,10 @@ def _frozen(schedule: Schedule, at_ms: float,
     """
     from repro.timing.schedule import ScheduledEvent
     shifted_events = []
-    for event in schedule.events:
+    # Built in cached canonical order: the hold shifts every event at or
+    # after the freeze point by the same amount, which cannot reorder
+    # begin times, so the copy pre-seeds its order cache.
+    for event in schedule.ordered_events():
         begin, end = event.begin_ms, event.end_ms
         if begin >= at_ms:
             begin += duration_ms
@@ -348,10 +388,12 @@ def _frozen(schedule: Schedule, at_ms: float,
     shifted_times = {}
     for var, t in schedule.times_ms.items():
         shifted_times[var] = t + duration_ms if t >= at_ms else t
-    return Schedule(
+    frozen = Schedule(
         compiled=schedule.compiled,
         times_ms=shifted_times,
         events=shifted_events,
         dropped_constraints=list(schedule.dropped_constraints),
         solver_iterations=schedule.solver_iterations,
     )
+    frozen._ordered = tuple(shifted_events)
+    return frozen

@@ -11,24 +11,122 @@ Amoeba itself is substituted (DESIGN.md) by a federation of local
 :class:`~repro.store.datastore.DataStore` sites connected by a simulated
 network: every remote operation pays a per-request latency plus a
 per-byte transfer cost, and the federation keeps transfer accounting.
+
+Two mechanisms keep the federation's *request* traffic proportional to
+the sites that can actually answer (Gray's locally-served-network
+principle — serve from local knowledge, touch remotes only when they
+contribute):
+
+* each site exports a cheap :class:`~repro.store.datastore.StoreSummary`
+  (keyword / medium / attribute-key membership, refreshed only when the
+  site's store version moves), and :meth:`FederatedStore.find` skips
+  any site whose summary cannot match the query — counted in
+  ``traffic.requests_avoided``;
+* every descriptor that crosses the network is recorded in a
+  descriptor→site **routing map**, so later :meth:`descriptor`,
+  :meth:`site_of` and :meth:`block_for` calls go straight to the owning
+  site instead of probing the federation in order.
+
 That is enough to reproduce the section-6 tendency the paper cares
 about: descriptor traffic is tiny and cacheable, payload traffic is
 huge, so *moving descriptors instead of data* is the winning strategy —
-measured by :mod:`benchmarks.bench_distributed_store`.
+measured by :mod:`benchmarks.bench_distributed_store` and
+:mod:`benchmarks.bench_store_query`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.channels import Medium
 from repro.core.descriptors import DataBlock, DataDescriptor
 from repro.core.errors import StoreError
-from repro.store.datastore import DataStore
+from repro.store.datastore import DataStore, StoreSummary
+from repro.store.query import (Always, And, Contains, DurationBetween, Eq,
+                               MatchesAttr, MediumIs, Or, Query, Range,
+                               criteria_query)
 
 #: Rough size of one serialized descriptor on the wire, in bytes.  Used
 #: for transfer accounting only; the exact figure is irrelevant to the
 #: descriptor-vs-payload asymmetry being demonstrated.
 DESCRIPTOR_WIRE_BYTES = 512
+
+#: Fixed overhead of one serialized index summary, in bytes.
+SUMMARY_BASE_WIRE_BYTES = 64
+
+#: Per-entry cost of a summary (one keyword / medium / attribute key).
+SUMMARY_ENTRY_WIRE_BYTES = 8
+
+
+def summary_wire_bytes(summary: StoreSummary) -> int:
+    """Simulated wire size of one site summary."""
+    entries = (len(summary.keywords) + len(summary.media)
+               + len(summary.attribute_keys))
+    return SUMMARY_BASE_WIRE_BYTES + SUMMARY_ENTRY_WIRE_BYTES * entries
+
+
+def summary_can_match(query: Query, summary: StoreSummary) -> bool:
+    """Could any descriptor behind ``summary`` satisfy ``query``?
+
+    Conservative: False only when the summary *proves* no match is
+    possible (a required keyword / medium / attribute key the site has
+    never seen).  Unknown query shapes — NOT, opaque closures — always
+    answer True, so pruning can never lose results.
+    """
+    if isinstance(query, And):
+        return all(summary_can_match(part, summary)
+                   for part in query.parts)
+    if isinstance(query, Or):
+        return any(summary_can_match(part, summary)
+                   for part in query.parts)
+    if isinstance(query, MediumIs):
+        return query.medium in summary.media
+    if isinstance(query, Contains):
+        if query.name != "keywords":
+            return query.name in summary.attribute_keys
+        if summary.fuzzy_keywords:
+            return True
+        try:
+            return query.item in summary.keywords
+        except TypeError:
+            return True         # unhashable search item: cannot prune
+    if isinstance(query, MatchesAttr):
+        if query.name == "medium":
+            try:
+                medium = (query.wanted
+                          if isinstance(query.wanted, Medium)
+                          else Medium.from_name(query.wanted))
+            except Exception:
+                return True     # malformed medium: let the site raise
+            return medium in summary.media
+        if query.wanted is None:
+            return True         # matches descriptors lacking the key
+        if query.name == "keywords":
+            if summary.fuzzy_keywords:
+                return True
+            try:
+                if query.wanted in summary.keywords:
+                    return True
+            except TypeError:
+                return True
+            if isinstance(query.wanted, str):
+                # Without fuzzy entries every stored keywords value is a
+                # container of hashable members, so a string criterion
+                # can only match by membership — proven absent above.
+                return False
+            return "keywords" in summary.attribute_keys
+        return query.name in summary.attribute_keys
+    if isinstance(query, Eq):
+        if query.value is None:
+            return True         # equals-None matches absent attributes
+        return query.name in summary.attribute_keys
+    if isinstance(query, Range):
+        return query.name in summary.attribute_keys
+    if isinstance(query, DurationBetween):
+        return "duration" in summary.attribute_keys
+    if isinstance(query, Always):
+        return summary.count > 0
+    return True                 # Not / opaque closures: no pruning
 
 
 @dataclass(frozen=True)
@@ -48,21 +146,26 @@ class TrafficStats:
     """Accumulated simulated network traffic of one federation."""
 
     requests: int = 0
+    requests_avoided: int = 0
     descriptor_bytes: int = 0
     payload_bytes: int = 0
+    summary_bytes: int = 0
     simulated_ms: float = 0.0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.requests = 0
+        self.requests_avoided = 0
         self.descriptor_bytes = 0
         self.payload_bytes = 0
+        self.summary_bytes = 0
         self.simulated_ms = 0.0
 
     @property
     def total_bytes(self) -> int:
-        """All bytes moved, descriptors plus payloads."""
-        return self.descriptor_bytes + self.payload_bytes
+        """All bytes moved: descriptors, payloads and summaries."""
+        return self.descriptor_bytes + self.payload_bytes \
+            + self.summary_bytes
 
 
 @dataclass
@@ -73,16 +176,22 @@ class Site:
     store: DataStore
     network: NetworkModel = field(default_factory=NetworkModel)
 
+    def summary(self) -> StoreSummary:
+        """The site's current index summary (version-cached)."""
+        return self.store.summary()
+
 
 class FederatedStore:
     """Several sites presenting one descriptor namespace.
 
-    Descriptor lookups consult the local site first, then the remotes
-    (paying simulated network cost); fetched descriptors are cached
-    locally — the paper's "value of document sharing and multiple access
-    to information".  Payload fetches always pay full transfer cost and
-    are *not* cached by default (payloads are "massive"), unless
-    ``cache_payloads`` is set.
+    Descriptor lookups consult the local site first, then the routing
+    map, then the remotes (paying simulated network cost); fetched
+    descriptors are cached locally — the paper's "value of document
+    sharing and multiple access to information".  Payload fetches
+    always pay full transfer cost and are *not* cached by default
+    (payloads are "massive"), unless ``cache_payloads`` is set; caching
+    a payload registers the descriptor locally and drops the now
+    redundant cache entry.
     """
 
     def __init__(self, local: Site, remotes: list[Site], *,
@@ -95,17 +204,66 @@ class FederatedStore:
         self.cache_payloads = cache_payloads
         self.traffic = TrafficStats()
         self._descriptor_cache: dict[str, DataDescriptor] = {}
+        #: descriptor id -> name of the site that physically holds it.
+        self._routes: dict[str, str] = {}
+        self._sites_by_name: dict[str, Site] = {
+            site.name: site for site in [local, *remotes]}
+        #: last summary seen per remote site (refreshed by version).
+        self._summaries: dict[str, StoreSummary] = {}
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def cached_descriptor_count(self) -> int:
+        """How many remote descriptors are currently cached locally."""
+        return len(self._descriptor_cache)
+
+    def _record_route(self, descriptor_id: str, site_name: str) -> None:
+        self._routes[descriptor_id] = site_name
+
+    def _routed_site(self, descriptor_id: str) -> Site | None:
+        """The site the routing map names, if it still holds the id."""
+        site_name = self._routes.get(descriptor_id)
+        if site_name is None:
+            return None
+        site = self._sites_by_name.get(site_name)
+        if site is None or descriptor_id not in site.store:
+            self._routes.pop(descriptor_id, None)   # stale route
+            return None
+        return site
+
+    def _summary_for(self, site: Site) -> StoreSummary:
+        """The site's summary, refreshed (and paid for) when stale.
+
+        Coherence is modelled as *push-invalidation*: sites are assumed
+        to broadcast their version bumps (a real federation would
+        piggyback them on any reply, or multicast invalidations), so
+        learning "has this site changed?" is free and only the summary
+        refresh itself pays a request plus its wire bytes.
+        """
+        cached = self._summaries.get(site.name)
+        if cached is not None and cached.version == site.store.version:
+            return cached
+        summary = site.summary()
+        size = summary_wire_bytes(summary)
+        self.traffic.requests += 1
+        self.traffic.summary_bytes += size
+        self.traffic.simulated_ms += site.network.transfer_ms(size)
+        self._summaries[site.name] = summary
+        return summary
 
     # -- descriptor path ---------------------------------------------------
 
     def descriptor(self, descriptor_id: str) -> DataDescriptor:
-        """Resolve a descriptor, local first, then remotes (with cache)."""
+        """Resolve a descriptor: local, cache, route, then probing."""
         if descriptor_id in self.local.store:
             return self.local.store.descriptor(descriptor_id)
         cached = self._descriptor_cache.get(descriptor_id)
         if cached is not None:
             return cached
-        for site in self.remotes:
+        routed = self._routed_site(descriptor_id)
+        sites = [routed] if routed is not None else self.remotes
+        for site in sites:
             if descriptor_id in site.store:
                 self.traffic.requests += 1
                 self.traffic.descriptor_bytes += DESCRIPTOR_WIRE_BYTES
@@ -113,15 +271,27 @@ class FederatedStore:
                     DESCRIPTOR_WIRE_BYTES)
                 descriptor = site.store.descriptor(descriptor_id)
                 self._descriptor_cache[descriptor_id] = descriptor
+                self._record_route(descriptor_id, site.name)
                 return descriptor
         raise StoreError(
             f"no site in the federation holds descriptor "
             f"{descriptor_id!r}")
 
     def site_of(self, descriptor_id: str) -> str:
-        """Which site physically holds a descriptor's data."""
-        for site in [self.local, *self.remotes]:
+        """Which site physically holds a descriptor's data.
+
+        Locally held (including payload-cached) descriptors answer
+        immediately; everything the federation has ever routed answers
+        from the routing map without touching any site.
+        """
+        if descriptor_id in self.local.store:
+            return self.local.name
+        routed = self._routed_site(descriptor_id)
+        if routed is not None:
+            return routed.name
+        for site in self.remotes:
             if descriptor_id in site.store:
+                self._record_route(descriptor_id, site.name)
                 return site.name
         raise StoreError(f"descriptor {descriptor_id!r} is nowhere in "
                          f"the federation")
@@ -132,13 +302,16 @@ class FederatedStore:
         """Fetch a payload block, paying transfer cost when remote."""
         if descriptor_id in self.local.store:
             return self.local.store.block_for(descriptor_id)
-        for site in self.remotes:
+        routed = self._routed_site(descriptor_id)
+        sites = [routed] if routed is not None else self.remotes
+        for site in sites:
             if descriptor_id in site.store:
                 block = site.store.block_for(descriptor_id)
                 size = block.size_bytes
                 self.traffic.requests += 1
                 self.traffic.payload_bytes += size
                 self.traffic.simulated_ms += site.network.transfer_ms(size)
+                self._record_route(descriptor_id, site.name)
                 if self.cache_payloads:
                     descriptor = site.store.descriptor(descriptor_id)
                     if descriptor_id not in self.local.store:
@@ -149,6 +322,9 @@ class FederatedStore:
                                 block_id=descriptor.block_id,
                                 attributes=dict(descriptor.attributes)),
                             block)
+                    # The local copy now serves lookups; a stale cache
+                    # entry would shadow any later local update.
+                    self._descriptor_cache.pop(descriptor_id, None)
                 return block
         raise StoreError(
             f"no site in the federation holds a block for "
@@ -157,22 +333,36 @@ class FederatedStore:
     # -- federation-wide attribute search -----------------------------------------
 
     def find(self, **criteria) -> list[DataDescriptor]:
-        """Attribute search across every site (descriptor traffic only).
+        """Attribute search across the federation (descriptor traffic
+        only); criteria semantics match :meth:`DataStore.find`."""
+        return self.find_where(criteria_query(criteria))
 
-        Each remote site answers with matching descriptors; the
-        simulated cost is one request plus one descriptor's bytes per
-        match — the section-6 search-key scenario.
+    def find_where(self, query: Query) -> list[DataDescriptor]:
+        """Planned attribute search across every site that can match.
+
+        The local site answers through its own planner for free; each
+        remote site is consulted only when its cached index summary
+        (refreshed when the site's store version moves) says the query
+        could match there — skipped sites are tallied in
+        ``traffic.requests_avoided``.  Contacted sites answer with
+        matching descriptors at one request plus one descriptor's bytes
+        per match — the section-6 search-key scenario.
         """
-        results = list(self.local.store.find(**criteria))
+        results = list(self.local.store.find_where(query))
         seen = {descriptor.descriptor_id for descriptor in results}
         for site in self.remotes:
-            matches = site.store.find(**criteria)
+            summary = self._summary_for(site)
+            if not summary_can_match(query, summary):
+                self.traffic.requests_avoided += 1
+                continue
+            matches = site.store.find_where(query)
             self.traffic.requests += 1
             matched_bytes = DESCRIPTOR_WIRE_BYTES * len(matches)
             self.traffic.descriptor_bytes += matched_bytes
             self.traffic.simulated_ms += site.network.transfer_ms(
                 matched_bytes)
             for descriptor in matches:
+                self._record_route(descriptor.descriptor_id, site.name)
                 if descriptor.descriptor_id not in seen:
                     seen.add(descriptor.descriptor_id)
                     results.append(descriptor)

@@ -64,8 +64,24 @@ class Schedule:
     events: list[ScheduledEvent] = field(default_factory=list)
     dropped_constraints: list[Constraint] = field(default_factory=list)
     solver_iterations: int = 1
+    #: lazily-cached canonical event order; schedules are treated as
+    #: immutable after construction (edits produce new Schedule
+    #: objects), which is what makes the cache safe.
+    _ordered: tuple[ScheduledEvent, ...] | None = field(
+        default=None, repr=False, compare=False)
 
     # -- queries ---------------------------------------------------------
+
+    def ordered_events(self) -> tuple[ScheduledEvent, ...]:
+        """Events in canonical :func:`event_order`, computed once.
+
+        The player replays a schedule many times (``--replays N``,
+        seeks, rate changes); caching the sort keeps each replay
+        O(E) instead of O(E log E).
+        """
+        if self._ordered is None:
+            self._ordered = tuple(sorted(self.events, key=event_order))
+        return self._ordered
 
     @property
     def total_duration_ms(self) -> float:

@@ -41,6 +41,45 @@ class TestNewsCommand:
         assert out.startswith("(cmif")
 
 
+class TestQuery:
+    def test_query_package_with_explain(self, news_package_file, capsys):
+        assert main(["query", news_package_file,
+                     "--keyword", "painting", "--medium", "image",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "plan for" in out
+        assert "probe" in out
+        assert "0 payload read(s)" in out
+        assert "match(es)" in out
+
+    def test_query_attr_and_range(self, news_package_file, capsys):
+        assert main(["query", news_package_file,
+                     "--attr", "language=en",
+                     "--range", "characters=1:100000"]) == 0
+        out = capsys.readouterr().out
+        assert "0 payload read(s)" in out
+
+    def test_query_without_criteria_lists_everything(
+            self, news_package_file, capsys):
+        assert main(["query", news_package_file]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) > 1
+
+    def test_query_rejects_bare_text_form(self, news_text_file, capsys):
+        assert main(["query", news_text_file,
+                     "--keyword", "painting"]) == 2
+        assert "transport package" in capsys.readouterr().err
+
+    def test_query_rejects_malformed_range(self, news_package_file,
+                                           capsys):
+        assert main(["query", news_package_file,
+                     "--range", "characters=a:b"]) == 2
+        assert "numeric bounds" in capsys.readouterr().err
+        assert main(["query", news_package_file,
+                     "--range", "characters=5"]) == 2
+        assert "min:max" in capsys.readouterr().err
+
+
 class TestValidate:
     def test_valid_package(self, news_package_file, capsys):
         assert main(["validate", news_package_file]) == 0

@@ -96,6 +96,83 @@ class TestFederatedSearch:
         assert federation.traffic.requests == requests_after_search
 
 
+class TestSummaryRouting:
+    def test_search_skips_sites_that_cannot_match(self, federation):
+        federation.find(keywords="crime")        # warms site summaries
+        federation.traffic.reset()
+        results = federation.find(keywords="crime")
+        assert [d.descriptor_id for d in results] == ["delft/story"]
+        # One request to the only site whose summary holds "crime";
+        # the other remote was pruned without any traffic.
+        assert federation.traffic.requests == 1
+        assert federation.traffic.requests_avoided == 1
+
+    def test_medium_pruning(self, federation):
+        federation.find(keywords="news")         # warms site summaries
+        federation.traffic.reset()
+        federation.find(medium="video")
+        # Every site is text-only: the whole fan-out is avoided.
+        assert federation.traffic.requests == 0
+        assert federation.traffic.requests_avoided == 2
+
+    def test_matches_attr_medium_is_not_mispruned(self, federation):
+        from repro.store import MatchesAttr
+        results = federation.find_where(MatchesAttr("medium", "text"))
+        ids = {descriptor.descriptor_id for descriptor in results}
+        assert ids == {"local/intro", "delft/story", "utrecht/story"}
+
+    def test_summary_refreshes_when_a_site_changes(self, federation):
+        federation.find(keywords="crime")
+        federation.traffic.reset()
+        delft = federation.remotes[0]
+        session_store = delft.store
+        from repro.core.descriptors import DataDescriptor
+        from repro.core.channels import Medium
+        session_store.register(DataDescriptor(
+            "delft/extra", Medium.TEXT,
+            attributes={"keywords": ("fresh",)}))
+        results = federation.find(keywords="fresh")
+        assert [d.descriptor_id for d in results] == ["delft/extra"]
+        assert federation.traffic.summary_bytes > 0
+
+    def test_find_populates_routing_map(self, federation):
+        federation.find(keywords="art")
+        assert federation.site_of("utrecht/story") == "utrecht"
+
+    def test_descriptor_uses_route_after_search(self, federation):
+        federation.find(keywords="crime")
+        requests = federation.traffic.requests
+        federation.descriptor("delft/story")     # cache hit, no traffic
+        assert federation.traffic.requests == requests
+
+
+class TestCacheConsistency:
+    def test_payload_caching_invalidates_descriptor_cache(self):
+        local = make_site("a", [])
+        remote = make_site("b", [("b/text", ("x",))])
+        federation = FederatedStore(local, [remote], cache_payloads=True)
+        federation.find(keywords="x")
+        assert federation.cached_descriptor_count == 1
+        federation.block_for("b/text")
+        # The descriptor is now registered locally; a stale cache entry
+        # would shadow any later local update.
+        assert federation.cached_descriptor_count == 0
+        requests = federation.traffic.requests
+        descriptor = federation.descriptor("b/text")
+        assert descriptor.descriptor_id == "b/text"
+        assert federation.traffic.requests == requests
+        assert federation.site_of("b/text") == "a"
+
+    def test_stale_route_falls_back_to_probing(self):
+        local = make_site("a", [])
+        remote = make_site("b", [("b/text", ("x",))])
+        federation = FederatedStore(local, [remote])
+        federation.find(keywords="x")
+        remote.store.unregister("b/text")
+        with pytest.raises(StoreError, match="nowhere"):
+            federation.site_of("b/text")
+
+
 class TestFederationHygiene:
     def test_duplicate_site_names_rejected(self):
         a = make_site("same", [])

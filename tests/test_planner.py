@@ -1,0 +1,389 @@
+"""Tests for the store query planner (repro.store.planner).
+
+The contract under test: planning changes *cost*, never *results*.
+For any store and any query AST, the planner's answer must equal the
+brute-force scan's, with zero payload reads, and ``explain`` must
+report only indexes the query's own leaves could have consulted.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.channels import Medium
+from repro.core.descriptors import DataDescriptor
+from repro.core.timebase import MediaTime, TimeBase
+from repro.store import (DataStore, Query, always, attr_contains, attr_eq,
+                         attr_range, duration_between, iter_leaves, keyword,
+                         medium_is)
+from repro.store.query import (Contains, DurationBetween, Eq, MatchesAttr,
+                               MediumIs, Range)
+
+# -- deterministic fixtures ------------------------------------------------
+
+
+def make_store(count: int = 30) -> DataStore:
+    store = DataStore("planner-test")
+    media = (Medium.TEXT, Medium.AUDIO, Medium.VIDEO, Medium.IMAGE)
+    for index in range(count):
+        attributes = {
+            "keywords": ("news", f"topic-{index % 5}"),
+            "language": ("en", "fr", "nl")[index % 3],
+            "characters": 10 * index,
+            "duration": MediaTime.ms(1000.0 * (index % 7)),
+        }
+        if index % 4 == 0:
+            attributes["resources"] = {"bandwidth": index}   # unhashable
+        store.register(DataDescriptor(f"d{index:03d}",
+                                      media[index % len(media)],
+                                      attributes=attributes))
+    return store
+
+
+def brute_force(store, query):
+    """Scan-path results, in registration order (unsorted on purpose:
+    the planner must reproduce the scan's order too)."""
+    return [d.descriptor_id
+            for d in store._descriptors.values() if query(d)]
+
+
+def planned(store, query):
+    return [d.descriptor_id for d in store.find_where(query)]
+
+
+class TestPlanShapes:
+    def test_keyword_query_uses_keyword_index(self):
+        store = make_store()
+        plan = store.explain(keyword("topic-1"))
+        assert not plan.scan
+        assert "keyword" in plan.indexes_used
+
+    def test_equality_query_uses_eq_index(self):
+        store = make_store()
+        plan = store.explain(attr_eq("language", "fr"))
+        assert plan.indexes_used == ("eq[language]",)
+
+    def test_range_query_uses_numeric_index(self):
+        store = make_store()
+        plan = store.explain(attr_range("characters", 40, 90))
+        assert plan.indexes_used == ("range[characters]",)
+        assert planned(store, attr_range("characters", 40, 90)) == \
+            ["d004", "d005", "d006", "d007", "d008", "d009"]
+
+    def test_duration_query_uses_duration_index(self):
+        store = make_store()
+        plan = store.explain(duration_between(1000.0, 2000.0))
+        assert plan.indexes_used == ("duration",)
+
+    def test_foreign_timebase_falls_back_to_scan(self):
+        store = make_store()
+        query = duration_between(0.0, 5000.0,
+                                 timebase=TimeBase(frame_rate=30.0))
+        plan = store.explain(query)
+        assert plan.scan
+        assert plan.indexes_used == ()
+        assert planned(store, query) == brute_force(store, query)
+
+    def test_steps_ordered_by_selectivity(self):
+        store = make_store()
+        plan = store.explain(keyword("news") & attr_eq("language", "fr"))
+        estimates = [step.estimate for step in plan.steps]
+        assert estimates == sorted(estimates)
+        assert estimates[0] < estimates[-1]
+
+    def test_opaque_closure_scans(self):
+        store = make_store()
+        query = Query(lambda d: d.descriptor_id.endswith("7"), "opaque")
+        plan = store.explain(query)
+        assert plan.scan
+        assert planned(store, query) == brute_force(store, query)
+
+    def test_not_is_residual_scan(self):
+        store = make_store()
+        plan = store.explain(~medium_is("text"))
+        assert plan.scan
+        assert plan.residual is not None
+
+    def test_and_with_not_keeps_index_and_residual(self):
+        store = make_store()
+        query = keyword("topic-2") & ~medium_is("text")
+        plan = store.explain(query)
+        assert not plan.scan
+        assert "keyword" in plan.indexes_used
+        assert plan.residual is not None
+        assert planned(store, query) == brute_force(store, query)
+
+    def test_describe_mentions_probes(self):
+        store = make_store()
+        text = store.explain(keyword("news") & medium_is("video")).describe()
+        assert "probe" in text and "keyword" in text and "medium" in text
+
+
+class TestPlannerEqualsScan:
+    def test_selective_conjunction(self):
+        store = make_store()
+        query = keyword("topic-3") & medium_is("audio")
+        store.stats.reset()
+        ids = planned(store, query)
+        assert ids == brute_force(store, query)
+        assert store.stats.payload_reads == 0
+        # Only the narrowed candidate set was examined, not the store.
+        assert store.stats.attribute_reads < len(store)
+
+    def test_empty_intersection_examines_nothing(self):
+        store = make_store()
+        store.stats.reset()
+        assert store.find_where(keyword("no-such-keyword")) == []
+        assert store.stats.attribute_reads == 0
+
+    def test_disjunction_unions_indexes(self):
+        store = make_store()
+        query = attr_eq("language", "fr") | medium_is("image")
+        plan = store.explain(query)
+        assert not plan.scan
+        assert planned(store, query) == brute_force(store, query)
+
+    def test_de_morgan_shapes_agree(self):
+        store = make_store()
+        left = ~(keyword("topic-1") | medium_is("text"))
+        right = ~keyword("topic-1") & ~medium_is("text")
+        assert planned(store, left) == planned(store, right) \
+            == brute_force(store, left)
+
+    def test_matches_attr_medium_routes_to_medium_index(self):
+        from repro.store import MatchesAttr
+        store = make_store()
+        query = MatchesAttr("medium", "video")
+        plan = store.explain(query)
+        assert plan.indexes_used == ("attr[medium]",)
+        assert planned(store, query) == brute_force(store, query)
+        assert planned(store, query)        # video descriptors exist
+
+    def test_unhashable_eq_value_is_correct(self):
+        store = make_store()
+        query = attr_eq("resources", {"bandwidth": 4})
+        assert planned(store, query) == brute_force(store, query) \
+            == ["d004"]
+
+    def test_eq_none_matches_absent_attribute(self):
+        store = make_store()
+        query = attr_eq("resources", None)
+        assert planned(store, query) == brute_force(store, query)
+        assert "d001" in planned(store, query)
+
+    def test_nan_values_stay_out_of_the_sorted_index(self):
+        """NaN passes every range comparison (both bound checks are
+        False) and would corrupt the bisect invariant — it must ride
+        the dirty-set superset instead."""
+        store = DataStore("nan")
+        store.register(DataDescriptor("bad", Medium.TEXT,
+                                      attributes={"x": float("nan")}))
+        for index in range(10):
+            store.register(DataDescriptor(f"d{index}", Medium.TEXT,
+                                          attributes={"x": index}))
+        query = attr_range("x", 3, 6)
+        assert planned(store, query) == brute_force(store, query)
+        assert "bad" in planned(store, query)
+        store.unregister("bad")
+        assert planned(store, query) == brute_force(store, query) \
+            == ["d3", "d4", "d5", "d6"]
+
+
+class TestIndexMaintenance:
+    def test_unregister_withdraws_from_every_index(self):
+        store = make_store()
+        query = keyword("topic-1") & medium_is("audio")
+        before = planned(store, query)
+        assert before
+        store.unregister(before[0])
+        assert planned(store, query) == brute_force(store, query)
+        assert before[0] not in planned(store, query)
+        assert len(store) == 29
+
+    def test_unregister_unknown_raises(self):
+        import pytest
+        from repro.core.errors import StoreError
+        with pytest.raises(StoreError, match="no descriptor"):
+            make_store().unregister("ghost")
+
+    def test_shared_block_survives_until_last_reference(self):
+        from repro.core.descriptors import DataBlock
+        store = DataStore("shared")
+        block = DataBlock("b", Medium.TEXT, b"payload")
+        store.register(DataDescriptor("first", Medium.TEXT,
+                                      block_id="b"), block)
+        store.register(DataDescriptor("second", Medium.TEXT,
+                                      block_id="b"))
+        store.unregister("first")
+        assert store.has_block("b")      # figure-2 sharing: still referenced
+        store.unregister("second")
+        assert not store.has_block("b")
+
+    def test_update_attributes_moves_index_entries(self):
+        store = make_store()
+        store.update_attributes("d000", language="fr",
+                                characters=55, keywords=("swapped",))
+        assert "d000" in planned(store, attr_eq("language", "fr"))
+        assert "d000" in planned(store, attr_range("characters", 50, 60))
+        assert "d000" in planned(store, keyword("swapped"))
+        assert "d000" not in planned(store, keyword("news"))
+        for query in (attr_eq("language", "fr"), keyword("swapped"),
+                      attr_range("characters", 50, 60)):
+            assert planned(store, query) == brute_force(store, query)
+
+    def test_update_attributes_none_removes(self):
+        store = make_store()
+        store.update_attributes("d000", language=None)
+        assert store.descriptor_by_id("d000").get("language") is None
+        assert "d000" not in planned(store, attr_eq("language", "en"))
+        assert "d000" in planned(store, attr_eq("language", None))
+
+    def test_version_moves_on_every_mutation(self):
+        store = make_store()
+        first = store.version
+        store.update_attributes("d001", language="nl")
+        second = store.version
+        store.unregister("d002")
+        assert first < second < store.version
+
+    def test_summary_reflects_indexes(self):
+        store = make_store()
+        summary = store.summary()
+        assert "news" in summary.keywords
+        assert Medium.VIDEO in summary.media
+        assert "language" in summary.attribute_keys
+        assert "duration" in summary.attribute_keys
+        assert summary.count == len(store)
+        assert store.summary() is summary          # version-cached
+        store.unregister("d000")
+        assert store.summary() is not summary
+
+
+# -- randomized equivalence (the satellite property test) ------------------
+
+MEDIA = (Medium.TEXT, Medium.AUDIO, Medium.VIDEO, Medium.IMAGE)
+WORDS = ("alpha", "beta", "gamma", "delta")
+
+
+@st.composite
+def stores(draw):
+    count = draw(st.integers(min_value=0, max_value=24))
+    store = DataStore("prop")
+    for index in range(count):
+        attributes = {}
+        shape = draw(st.integers(min_value=0, max_value=3))
+        if shape == 0:
+            attributes["keywords"] = tuple(draw(st.lists(
+                st.sampled_from(WORDS), max_size=3)))
+        elif shape == 1:
+            # String-valued keywords: substring semantics, dirty-set path.
+            attributes["keywords"] = draw(st.sampled_from(WORDS))
+        if draw(st.booleans()):
+            attributes["language"] = draw(st.sampled_from(
+                ("en", "fr", "nl")))
+        if draw(st.booleans()):
+            attributes["n"] = draw(st.one_of(
+                st.integers(min_value=-5, max_value=5),
+                st.floats(min_value=-5.0, max_value=5.0,
+                          allow_nan=False),
+                st.just(float("nan"))))
+        if draw(st.booleans()):
+            attributes["duration"] = draw(st.floats(
+                min_value=0.0, max_value=5000.0, allow_nan=False,
+                allow_infinity=False))
+        if draw(st.booleans()):
+            attributes["resources"] = {"r": index}     # unhashable
+        store.register(DataDescriptor(
+            f"d{index:03d}", draw(st.sampled_from(MEDIA)),
+            attributes=attributes))
+    return store
+
+
+def leaf_queries():
+    bound = st.one_of(st.none(), st.integers(min_value=-4, max_value=4))
+    return st.one_of(
+        st.sampled_from(WORDS).map(keyword),
+        st.sampled_from(("en", "fr", "nl", "xx")).map(
+            lambda v: attr_eq("language", v)),
+        st.sampled_from(WORDS).map(
+            lambda w: attr_contains("language", w)),   # unindexable leaf
+        st.tuples(bound, bound).filter(
+            lambda b: b[0] is not None or b[1] is not None).map(
+            lambda b: attr_range("n", b[0], b[1])),
+        st.sampled_from(MEDIA).map(medium_is),
+        st.tuples(bound, bound).filter(
+            lambda b: b[0] is not None or b[1] is not None).map(
+            lambda b: duration_between(
+                None if b[0] is None else 1000.0 * b[0],
+                None if b[1] is None else 1000.0 * b[1])),
+        st.just(always()),
+        st.just(Query(lambda d: len(d.descriptor_id) % 2 == 0,
+                      "opaque")),
+    )
+
+
+def query_asts():
+    return st.recursive(
+        leaf_queries(),
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda p: p[0] & p[1]),
+            st.tuples(children, children).map(lambda p: p[0] | p[1]),
+            children.map(lambda q: ~q),
+        ),
+        max_leaves=6)
+
+
+@settings(max_examples=120, deadline=None)
+@given(store=stores(), query=query_asts())
+def test_planner_equals_brute_force(store, query):
+    store.stats.reset()
+    assert planned(store, query) == brute_force(store, query)
+    assert store.stats.payload_reads == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(store=stores(), query=query_asts(),
+       data=st.data())
+def test_planner_equals_brute_force_after_mutations(store, query, data):
+    ids = sorted(store._descriptors)
+    for descriptor_id in data.draw(st.lists(st.sampled_from(ids),
+                                            unique=True, max_size=4)) \
+            if ids else []:
+        if data.draw(st.booleans()):
+            store.unregister(descriptor_id)
+        else:
+            store.update_attributes(
+                descriptor_id,
+                language=data.draw(st.sampled_from(("en", "de", None))),
+                n=data.draw(st.one_of(st.none(), st.integers(-4, 4))),
+                keywords=tuple(data.draw(st.lists(
+                    st.sampled_from(WORDS), max_size=2))))
+    assert planned(store, query) == brute_force(store, query)
+
+
+@settings(max_examples=120, deadline=None)
+@given(store=stores(), query=query_asts())
+def test_explain_reports_only_consultable_indexes(store, query):
+    """explain() never names an index no leaf of the query could use."""
+    plan = store.explain(query)
+    if plan.scan:
+        assert plan.indexes_used == ()
+        return
+    allowed = {"union"}
+    for leaf in iter_leaves(query):
+        if isinstance(leaf, Contains) and leaf.name == "keywords":
+            allowed.add("keyword")
+        elif isinstance(leaf, Eq):
+            allowed.add(f"eq[{leaf.name}]")
+        elif isinstance(leaf, Range):
+            allowed.add(f"range[{leaf.name}]")
+        elif isinstance(leaf, MediumIs):
+            allowed.add("medium")
+        elif isinstance(leaf, DurationBetween):
+            allowed.add("duration")
+        elif isinstance(leaf, MatchesAttr):
+            allowed.add(f"attr[{leaf.name}]")
+    assert set(plan.indexes_used) <= allowed
+    assert plan.steps == tuple(sorted(plan.steps,
+                                      key=lambda s: s.estimate))

@@ -117,3 +117,17 @@ class TestInvariants:
         schedule = schedule_document(document.compile())
         assert len(schedule.dropped_constraints) == 1
         assert schedule.solver_iterations == 2
+
+
+class TestOrderedEvents:
+    def test_canonical_order_and_caching(self, schedule):
+        from repro.timing.schedule import event_order
+        ordered = schedule.ordered_events()
+        assert list(ordered) == sorted(schedule.events, key=event_order)
+        assert schedule.ordered_events() is ordered   # computed once
+
+    def test_shifted_copy_gets_its_own_cache(self, schedule):
+        schedule.ordered_events()
+        shifted = schedule.shifted(500.0)
+        assert shifted.ordered_events()[0].begin_ms == \
+            schedule.ordered_events()[0].begin_ms + 500.0

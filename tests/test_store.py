@@ -99,6 +99,48 @@ class TestAttributeOnlySearch:
         assert store.stats.attribute_reads > 0
 
 
+class TestReadAccounting:
+    """attribute_reads is charged once per *examined* descriptor.
+
+    The seed's find() pulled candidates from the keyword index and then
+    re-verified them with descriptor matching, which must not charge
+    the counters twice for the same logical search.
+    """
+
+    def test_indexed_find_counts_once_per_candidate(self, store):
+        store.stats.reset()
+        results = store.find(keywords="topic-1")
+        assert [d.descriptor_id for d in results] == ["text-1"]
+        assert store.stats.attribute_reads == 1
+
+    def test_intersection_counts_once_per_survivor(self, store):
+        store.stats.reset()
+        results = store.find(medium="text", keywords="news")
+        assert len(results) == 3
+        assert store.stats.attribute_reads == 3
+
+    def test_miss_costs_nothing(self, store):
+        store.stats.reset()
+        assert store.find(keywords="no-such-word") == []
+        assert store.stats.attribute_reads == 0
+
+    def test_planned_query_examines_fewer_than_scan(self, store):
+        from repro.store import keyword, medium_is, run
+        store.stats.reset()
+        run(store, keyword("topic-2") & medium_is("text"))
+        assert store.stats.attribute_reads < len(store)
+        store.stats.reset()
+        store.scan_where(lambda d: True)
+        assert store.stats.attribute_reads == len(store)
+
+    def test_explain_exposes_the_plan(self, store):
+        from repro.store import keyword
+        plan = store.explain(keyword("news"))
+        assert not plan.scan
+        assert "keyword" in plan.indexes_used
+        assert "plan for" in plan.describe()
+
+
 class TestQueryCombinators:
     def test_medium_query(self, store):
         assert len(run(store, medium_is("text"))) == 3
