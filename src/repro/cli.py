@@ -36,13 +36,13 @@ from repro.core.errors import CmifError
 from repro.core.validate import ERROR, validate_document
 from repro.format.parser import parse_document
 from repro.format.writer import write_document
-from repro.pipeline.player import Player
-from repro.pipeline.presentation import PresentationMapper
+from repro.pipeline.program import BatchPlayer
 from repro.pipeline.viewer import (render_arc_table, render_authoring_view,
                                    render_embedded, render_summary,
-                                   render_tree)
+                                   render_sweep, render_tree)
 from repro.timing import ScheduleCache, schedule_document
-from repro.transport.environments import (PERSONAL_SYSTEM, SILENT_TERMINAL,
+from repro.transport.environments import (PERSONAL_SYSTEM, PROFILES,
+                                          SILENT_TERMINAL,
                                           SystemEnvironment, WORKSTATION)
 from repro.transport.negotiate import negotiate
 
@@ -105,29 +105,56 @@ def cmd_arcs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_float_list(raw: str, flag: str) -> list[float]:
+    """A comma-separated float list (``--rates``/``--seeks``)."""
+    try:
+        values = [float(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise CmifError(f"{flag} expects comma-separated numbers, "
+                        f"got {raw!r}") from None
+    if not values:
+        raise CmifError(f"{flag} expects at least one number, "
+                        f"got {raw!r}")
+    return values
+
+
 def cmd_play(args: argparse.Namespace) -> int:
     if args.replays < 1:
         print("error: --replays must be at least 1", file=sys.stderr)
         return 2
     document = load_document(args.document)
     environment = ENVIRONMENTS[args.environment]
-    # One solve per run: every replay (and seek) reuses the cached
-    # schedule for the document's revision.
+    # One solve, one compiled program: every replay, seek and sweep cell
+    # reuses the cached schedule and the lowered playback program.
     cache = ScheduleCache()
-    player = Player(environment, seed=args.seed,
-                    prefetch_lead_ms=args.prefetch, cache=cache)
+    batch = BatchPlayer.for_document(document, environment,
+                                     seed=args.seed,
+                                     prefetch_lead_ms=args.prefetch,
+                                     cache=cache)
+    if args.sweep:
+        rates = (_parse_float_list(args.rates, "--rates")
+                 if args.rates else [args.rate])
+        seeks = (_parse_float_list(args.seeks, "--seeks")
+                 if args.seeks else [args.seek])
+        cells = batch.sweep(PROFILES, rates,
+                            [seek * 1000.0 for seek in seeks],
+                            replays=args.replays)
+        print(render_sweep(cells))
+        return 1 if any(cell.must_violations for cell in cells) else 0
     failed = False
+    # One run_one per iteration streams summaries and keeps O(1)
+    # reports live, replay counts being unbounded.
     for replay in range(args.replays):
-        report = player.play_document(document, rate=args.rate,
-                                      seek_to_ms=args.seek * 1000.0,
-                                      rng=player.rng_for(replay))
+        report = batch.run_one(rate=args.rate,
+                               seek_to_ms=args.seek * 1000.0,
+                               replay=replay)
         if args.replays > 1:
             print(f"replay {replay} (jitter seed {args.seed + replay}):")
         print(report.summary())
         if args.verbose:
             for audit in report.audits:
                 print(f"  {audit}")
-        failed = failed or bool(report.must_violations)
+        failed = failed or bool(report.must_violation_count)
     if args.replays > 1:
         print(cache.describe())
     return 1 if failed else 0
@@ -307,7 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
                            "from seed+i (default 0)")
     play.add_argument("--replays", type=int, default=1,
                       help="play the run N times (seeds seed..seed+N-1), "
-                           "reusing one cached schedule")
+                           "reusing one cached schedule and compiled "
+                           "playback program")
+    play.add_argument("--sweep", action="store_true",
+                      help="batch-replay across every environment "
+                           "profile x --rates x --seeks and print the "
+                           "grid (uses --replays runs per cell)")
+    play.add_argument("--rates", metavar="CSV",
+                      help="with --sweep: comma-separated presentation "
+                           "rates (default: the single --rate)")
+    play.add_argument("--seeks", metavar="CSV",
+                      help="with --sweep: comma-separated seek points in "
+                           "seconds (default: the single --seek)")
     play.add_argument("--verbose", action="store_true")
     play.set_defaults(handler=cmd_play)
 

@@ -32,9 +32,13 @@ from repro.pipeline.presentation import (PresentationMap,
                                          PresentationMapper, Region,
                                          SpeakerAssignment, VIRTUAL_HEIGHT,
                                          VIRTUAL_WIDTH)
+from repro.pipeline.program import (BatchPlayer, CompactReport,
+                                    PlaybackProgram, ProgramCache,
+                                    SweepCell, compile_program)
 from repro.pipeline.viewer import (render_arc_table, render_embedded,
                                    render_screen, render_summary,
-                                   render_timeline, render_tree)
+                                   render_sweep, render_timeline,
+                                   render_tree)
 from repro.timing.schedule import Schedule, schedule_document
 from repro.transport.environments import SystemEnvironment, WORKSTATION
 
@@ -71,12 +75,14 @@ def run_pipeline(document: CmifDocument,
 
 
 __all__ = [
-    "ArcAudit", "Captured", "CaptureSession", "ConstraintFilter",
-    "FilterAction", "FilterKind", "FilterPlan", "Jump", "Link",
-    "NavigationSession", "PipelineRun", "PlaybackReport", "PlayedEvent",
-    "Player", "PresentationMap", "PresentationMapper", "Region",
-    "SpeakerAssignment", "StructureMapper", "collect_links",
-    "VIRTUAL_HEIGHT", "VIRTUAL_WIDTH", "apply_action", "render_arc_table",
-    "render_embedded", "render_screen", "render_summary", "render_timeline",
-    "render_tree", "run_pipeline",
+    "ArcAudit", "BatchPlayer", "Captured", "CaptureSession",
+    "CompactReport", "ConstraintFilter", "FilterAction", "FilterKind",
+    "FilterPlan", "Jump", "Link", "NavigationSession", "PipelineRun",
+    "PlaybackProgram", "PlaybackReport", "PlayedEvent", "Player",
+    "PresentationMap", "PresentationMapper", "ProgramCache", "Region",
+    "SpeakerAssignment", "StructureMapper", "SweepCell", "collect_links",
+    "VIRTUAL_HEIGHT", "VIRTUAL_WIDTH", "apply_action", "compile_program",
+    "render_arc_table", "render_embedded", "render_screen",
+    "render_summary", "render_sweep", "render_timeline", "render_tree",
+    "run_pipeline",
 ]

@@ -18,6 +18,14 @@ by a prefetch lead: events may be dispatched to their device early,
 which is what makes negative minimum delays realizable ("this might be
 possible to a limited degree if an implementation environment supports
 pre-fetching and pre-scheduling of events").
+
+Since the compiled-playback PR, :meth:`Player.play` runs on the batch
+replay engine (:mod:`repro.pipeline.program`): the schedule is lowered
+to a :class:`~repro.pipeline.program.PlaybackProgram` once per
+(schedule, revision) and each run is array arithmetic.  The original
+interpretive loop survives as :meth:`Player.play_reference`; the two
+paths are bit-identical, which the equivalence tests and the playback
+bench gate.
 """
 
 from __future__ import annotations
@@ -27,9 +35,10 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import PlaybackError
 from repro.core.nodes import Node
-from repro.core.paths import node_path, path_map, resolve_path
+from repro.core.paths import path_map, resolve_path
 from repro.core.syncarc import Anchor, ConditionalArc, Strictness
 from repro.core.tree import iter_postorder
+from repro.pipeline.program import BatchPlayer
 from repro.timing.conflicts import (ConflictReport, invalid_arcs_after_seek)
 from repro.timing.intervals import arc_window
 from repro.timing.schedule import Schedule, ScheduleCache, schedule_for
@@ -140,6 +149,12 @@ class Player:
     ``random`` state.  Replays with the same seed therefore reproduce
     the same report bit for bit, which is what lets the schedule cache
     reuse one solved timeline across replays and seeks.
+
+    :meth:`play` executes through a compiled playback program held in a
+    one-slot cache keyed on (schedule identity, document revision) — the
+    same guard the schedule cache uses, so an edited document can never
+    be audited against a stale path map.  :meth:`play_reference` is the
+    original interpretive loop, kept as the engine's oracle.
     """
 
     def __init__(self, environment: SystemEnvironment = WORKSTATION, *,
@@ -153,9 +168,12 @@ class Player:
         self.prefetch_lead_ms = prefetch_lead_ms
         self.strict = strict
         self.cache = cache
-        # One-slot node-path cache: replays and seeks audit the same
-        # compiled document over and over; holding the compiled object
-        # pins its identity, and the revision guards against edits.
+        # One-slot compiled-program engine (see class docstring).
+        self._batch: BatchPlayer | None = None
+        # One-slot node-path cache for the reference path: replays and
+        # seeks audit the same compiled document over and over; holding
+        # the compiled object pins its identity, and the revision guards
+        # against edits.
         self._paths_compiled = None
         self._paths_revision: int | None = None
         self._paths: dict[int, str] | None = None
@@ -171,6 +189,33 @@ class Player:
             self._paths_compiled = compiled
             self._paths_revision = revision
         return self._paths
+
+    def _batch_for(self, schedule: Schedule) -> BatchPlayer:
+        """The compiled engine for ``schedule``, rebuilt on change.
+
+        The slot also tracks the player's own mutable settings
+        (environment, seed, prefetch, strict): the seed loop read them
+        live on every run, so a player reconfigured between plays must
+        get a fresh engine rather than a stale one.
+        """
+        revision = schedule.compiled.document.revision
+        batch = self._batch
+        same_program = (batch is not None
+                        and batch.program.schedule is schedule
+                        and batch.program.revision == revision)
+        if (not same_program
+                or batch.environment is not self.environment
+                or batch.seed != self.seed
+                or batch.prefetch_lead_ms != self.prefetch_lead_ms
+                or batch.strict != self.strict):
+            batch = BatchPlayer(schedule, self.environment,
+                                seed=self.seed,
+                                prefetch_lead_ms=self.prefetch_lead_ms,
+                                strict=self.strict,
+                                program=(batch.program if same_program
+                                         else None))
+            self._batch = batch
+        return batch
 
     def rng_for(self, replay: int = 0) -> random.Random:
         """The jitter RNG of the ``replay``-th run (seed + replay)."""
@@ -198,7 +243,7 @@ class Player:
              freeze_duration_ms: float = 0.0,
              seek_to_ms: float = 0.0,
              rng: random.Random | None = None) -> PlaybackReport:
-        """Simulate one presentation run.
+        """Simulate one presentation run (compiled engine).
 
         ``rate`` scales presentation time (2.0 = slow motion at half
         speed); ``freeze_at_ms``/``freeze_duration_ms`` hold the
@@ -209,13 +254,33 @@ class Player:
         omitted, a fresh ``random.Random(self.seed)`` makes the run
         reproducible.
 
-        Events are dispatched in the schedule's canonical
-        :func:`~repro.timing.schedule.event_order` (begin, end, id) —
-        the one order every schedule consumer shares, cached on the
-        schedule across replays.  Events tying on *begin* break the
-        tie on end time before id (previously id only), which can
-        reorder the jitter draws of simultaneous events relative to
-        pre-planner releases; any single seed remains bit-reproducible.
+        The run executes over the schedule's compiled
+        :class:`~repro.pipeline.program.PlaybackProgram`; the report is
+        bit-identical to :meth:`play_reference` on the same inputs.
+        """
+        if rate <= 0:
+            raise PlaybackError(f"rate must be positive, got {rate}")
+        batch = self._batch_for(schedule)
+        if rng is None:
+            rng = self.rng_for(0)
+        compact = batch.run_one(rate=rate, freeze_at_ms=freeze_at_ms,
+                                freeze_duration_ms=freeze_duration_ms,
+                                seek_to_ms=seek_to_ms, rng=rng)
+        return compact.materialize()
+
+    def play_reference(self, schedule: Schedule, *, rate: float = 1.0,
+                       freeze_at_ms: float | None = None,
+                       freeze_duration_ms: float = 0.0,
+                       seek_to_ms: float = 0.0,
+                       rng: random.Random | None = None
+                       ) -> PlaybackReport:
+        """The interpretive run: tree walks, schedule copies, dicts.
+
+        This is the original (pre-compilation) playback loop, kept as
+        the oracle the batch engine is audited against — the equivalence
+        tests and ``benchmarks/bench_playback.py`` both compare against
+        it.  Events are dispatched in the schedule's canonical
+        :func:`~repro.timing.schedule.event_order` (begin, end, id).
         """
         if rate <= 0:
             raise PlaybackError(f"rate must be positive, got {rate}")
@@ -304,7 +369,7 @@ class Player:
                 # [delta, epsilon] tolerance stays authored-real-time.
                 window = arc_window(arc, tref, document.timebase)
                 audits.append(ArcAudit(
-                    owner_path=paths.get(id(node)) or node_path(node),
+                    owner_path=paths[id(node)],
                     arc_description=arc.describe(),
                     strictness=arc.strictness,
                     window=str(window),
@@ -322,16 +387,18 @@ def _nodes_with_arcs(root: Node):
 
 def _node_actual_times(root: Node,
                        leaf_times: dict[str, tuple[float, float]],
-                       paths: dict[int, str] | None = None
+                       paths: dict[int, str]
                        ) -> dict[int, tuple[float, float]]:
-    """Realized (begin, end) for every node, composed up from leaves."""
-    if paths is None:
-        paths = path_map(root)
+    """Realized (begin, end) for every node, composed up from leaves.
+
+    ``paths`` must cover every node of ``root``'s tree — callers pass
+    the player's cached :func:`~repro.core.paths.path_map`, so the walk
+    never falls back to per-node parent-chain recomputation.
+    """
     times: dict[int, tuple[float, float]] = {}
     for node in iter_postorder(root):
         if node.is_leaf:
-            played = leaf_times.get(paths.get(id(node))
-                                    or node_path(node))
+            played = leaf_times.get(paths[id(node)])
             if played is not None:
                 times[id(node)] = played
             continue

@@ -103,15 +103,25 @@ class PresentationMap:
 
         Overlap is legal (the news label overlays the video) but the
         viewer and tests want to know about it; z-order decides what is
-        on top.
+        on top.  A sweep over the rects sorted by left edge only
+        compares regions whose x-extents intersect, so column layouts
+        (which mostly don't overlap) cost near-linear instead of
+        comparing every pair; results stay in sorted (first, second)
+        name order.
         """
-        names = sorted(self.regions)
+        spans = sorted(
+            ((region.rect.x, region.rect.x + region.rect.width,
+              name, region.rect) for name, region in self.regions.items()),
+            key=lambda span: (span[0], span[2]))
         pairs: list[tuple[str, str]] = []
-        for i, first in enumerate(names):
-            for second in names[i + 1:]:
-                if self.regions[first].rect.intersect(
-                        self.regions[second].rect) is not None:
-                    pairs.append((first, second))
+        active: list[tuple[float, str, "Rect"]] = []
+        for x, _right, name, rect in spans:
+            active = [entry for entry in active if entry[0] > x]
+            for _other_right, other_name, other_rect in active:
+                if rect.intersect(other_rect) is not None:
+                    pairs.append(tuple(sorted((name, other_name))))
+            active.append((x + rect.width, name, rect))
+        pairs.sort()
         return pairs
 
     def describe(self) -> str:

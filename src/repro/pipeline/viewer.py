@@ -174,6 +174,29 @@ def render_arc_table(schedule: Schedule, *, explicit_only: bool = True
     return "\n".join(lines)
 
 
+def render_sweep(cells) -> str:
+    """A batch sweep's grid as a table (one row per cell).
+
+    Takes the :class:`~repro.pipeline.program.SweepCell` list a
+    :meth:`~repro.pipeline.program.BatchPlayer.sweep` returns and
+    renders environment × rate × seek against played events, worst
+    skew and arc violations — the serving-side counterpart of the
+    figure-3 timeline view.
+    """
+    header = (f"{'environment':<16} {'rate':>5} {'seek':>7} "
+              f"{'runs':>5} {'events':>7} {'skew':>9} "
+              f"{'must':>5} {'may':>5}")
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        lines.append(
+            f"{cell.environment:<16} {cell.rate:>5g} "
+            f"{cell.seek_to_ms / 1000.0:>6.1f}s "
+            f"{len(cell.reports):>5} {cell.events_played:>7} "
+            f"{cell.worst_skew_ms:>7.1f}ms "
+            f"{cell.must_violations:>5} {cell.may_violations:>5}")
+    return "\n".join(lines)
+
+
 def render_summary(document: CmifDocument, schedule: Schedule | None = None
                    ) -> str:
     """The table-of-contents view: stats, channels, optional timing."""

@@ -112,6 +112,25 @@ def _events_under(compiled: CompiledDocument, node: Node):
                 yield event
 
 
+def navigation_conflict_report(owner_path: str, arc_description: str,
+                               strictness: Strictness,
+                               seek_to_ms: float) -> ConflictReport:
+    """One class-3 report, shared by the tree walk and the compiled path.
+
+    :func:`invalid_arcs_after_seek` and the playback program's
+    precompiled seek analysis (:mod:`repro.pipeline.program`) both build
+    their reports here, so the two paths cannot drift apart — the batch
+    engine's bit-identity gate depends on that.
+    """
+    severity = ("error" if strictness is Strictness.MUST else "warning")
+    return ConflictReport(
+        NAVIGATION, owner_path,
+        f"after seeking to {seek_to_ms:g}ms the source of "
+        f"{arc_description} never executes; all incoming "
+        f"synchronization arcs are considered invalid",
+        severity=severity)
+
+
 def invalid_arcs_after_seek(schedule: Schedule, seek_to_ms: float
                             ) -> list[ConflictReport]:
     """Arcs invalidated by a fast-forward to ``seek_to_ms`` (class 3).
@@ -141,14 +160,9 @@ def invalid_arcs_after_seek(schedule: Schedule, seek_to_ms: float
                 schedule.event_for_path(e.node_path).begin_ms
                 for e in destination_events)
             if source_end < seek_to_ms and destination_begin >= seek_to_ms:
-                severity = ("error" if arc.strictness is Strictness.MUST
-                            else "warning")
-                reports.append(ConflictReport(
-                    NAVIGATION, node_path(node),
-                    f"after seeking to {seek_to_ms:g}ms the source of "
-                    f"{arc.describe()} never executes; all incoming "
-                    f"synchronization arcs are considered invalid",
-                    severity=severity))
+                reports.append(navigation_conflict_report(
+                    node_path(node), arc.describe(), arc.strictness,
+                    seek_to_ms))
     return reports
 
 

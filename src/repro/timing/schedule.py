@@ -69,6 +69,20 @@ class Schedule:
     #: objects), which is what makes the cache safe.
     _ordered: tuple[ScheduledEvent, ...] | None = field(
         default=None, repr=False, compare=False)
+    #: lazily-cached channel lanes (see :meth:`by_channel`); treat the
+    #: returned mapping as immutable.
+    _by_channel: dict[str, list["ScheduledEvent"]] | None = field(
+        default=None, repr=False, compare=False)
+    #: lazily-cached sorted distinct change points.
+    _change_points: list[float] | None = field(
+        default=None, repr=False, compare=False)
+    #: lazily-cached :meth:`events_at` support: begin times when
+    #: ``self.events`` is begin-sorted (the canonical case), else None
+    #: to fall back to the linear scan.
+    _begin_index: list[float] | None = field(
+        default=None, repr=False, compare=False)
+    _begin_sorted: bool | None = field(
+        default=None, repr=False, compare=False)
 
     # -- queries ---------------------------------------------------------
 
@@ -105,18 +119,44 @@ class Schedule:
         return value
 
     def by_channel(self) -> dict[str, list[ScheduledEvent]]:
-        """Events grouped per channel, ordered by begin time."""
-        lanes: dict[str, list[ScheduledEvent]] = {
-            name: [] for name in self.compiled.per_channel}
-        for event in self.events:
-            lanes.setdefault(event.channel, []).append(event)
-        for lane in lanes.values():
-            lane.sort(key=lambda e: (e.begin_ms, e.end_ms))
-        return lanes
+        """Events grouped per channel, ordered by begin time.
+
+        Computed once and cached — the viewer, the serialization
+        invariant and conflict analysis all re-request the lanes of the
+        same immutable schedule.  Treat the result as read-only.
+        """
+        if self._by_channel is None:
+            lanes: dict[str, list[ScheduledEvent]] = {
+                name: [] for name in self.compiled.per_channel}
+            for event in self.events:
+                lanes.setdefault(event.channel, []).append(event)
+            for lane in lanes.values():
+                lane.sort(key=lambda e: (e.begin_ms, e.end_ms))
+            self._by_channel = lanes
+        return self._by_channel
 
     def events_at(self, time_ms: float) -> list[ScheduledEvent]:
-        """Every event active at ``time_ms`` (the figure-4a screen state)."""
-        return [event for event in self.events if event.active_at(time_ms)]
+        """Every event active at ``time_ms`` (the figure-4a screen state).
+
+        When ``self.events`` is begin-sorted (the canonical order
+        :func:`make_schedule` produces), a cached begin index cuts the
+        scan to events that have begun by ``time_ms``; otherwise the
+        seed's full linear scan runs, so results — including their
+        ``self.events`` ordering — never change.
+        """
+        if self._begin_sorted is None:
+            begins = [event.begin_ms for event in self.events]
+            self._begin_sorted = all(
+                earlier <= later
+                for earlier, later in zip(begins, begins[1:]))
+            self._begin_index = begins if self._begin_sorted else None
+        if not self._begin_sorted:
+            return [event for event in self.events
+                    if event.active_at(time_ms)]
+        # active_at admits begins up to time_ms + 1e-9; bisect on that.
+        cut = bisect.bisect_right(self._begin_index, time_ms + 1e-9)
+        return [event for event in self.events[:cut]
+                if event.active_at(time_ms)]
 
     def event_for_path(self, node_path: str) -> ScheduledEvent:
         """The scheduled event originating from the leaf at ``node_path``."""
@@ -126,12 +166,19 @@ class Schedule:
         raise SchedulingConflict(f"no event scheduled for {node_path}")
 
     def change_points(self) -> list[float]:
-        """Sorted distinct times where any event begins or ends."""
-        points: set[float] = set()
-        for event in self.events:
-            points.add(round(event.begin_ms, 6))
-            points.add(round(event.end_ms, 6))
-        return sorted(points)
+        """Sorted distinct times where any event begins or ends.
+
+        Cached on first call (the viewer and analyses sweep the same
+        immutable schedule's change points repeatedly); a fresh list is
+        returned each time so callers may slice or mutate freely.
+        """
+        if self._change_points is None:
+            points: set[float] = set()
+            for event in self.events:
+                points.add(round(event.begin_ms, 6))
+                points.add(round(event.end_ms, 6))
+            self._change_points = sorted(points)
+        return list(self._change_points)
 
     def channel_utilization(self) -> dict[str, float]:
         """Fraction of the document span each channel is busy.

@@ -78,6 +78,15 @@ class SystemEnvironment:
         """Worst-case start latency for ``medium`` in milliseconds."""
         return self.start_latency_ms.get(medium, 0.0)
 
+    def latency_table(self, media) -> tuple[float, ...]:
+        """Start latencies for an ordered media set, as a flat table.
+
+        The compiled playback layer indexes media once per program and
+        looks latencies up by position per environment, so the per-run
+        loop never touches the ``start_latency_ms`` dict.
+        """
+        return tuple(self.latency_for(medium) for medium in media)
+
     def degraded(self, **changes) -> "SystemEnvironment":
         """A copy with some capabilities changed (for sweeps)."""
         return replace(self, **changes)

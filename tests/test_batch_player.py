@@ -1,0 +1,306 @@
+"""Batch-vs-reference equivalence for the compiled playback engine.
+
+The serving-path contract: a :class:`~repro.pipeline.program.BatchPlayer`
+run — and :meth:`Player.play`, which is built on it — must be
+*bit-identical* to the interpretive :meth:`Player.play_reference` loop
+for every combination of document, jitter seed, rate, freeze-frame and
+seek, including audit/violation ordering, ``max_skew_ms`` and the
+class-3 navigation reports.
+"""
+
+import random
+
+import pytest
+
+from repro.core.builder import DocumentBuilder
+from repro.core.errors import PathError, PlaybackError
+from repro.core.syncarc import ConditionalArc
+from repro.corpus import make_news_document
+from repro.pipeline.program import (BatchPlayer, ProgramCache,
+                                    compile_program)
+from repro.pipeline.player import Player
+from repro.timing import schedule_document
+from repro.transport.environments import (PERSONAL_SYSTEM, PROFILES,
+                                          SystemEnvironment, WORKSTATION)
+
+PERFECT = SystemEnvironment(name="perfect", jitter_ms=0.0)
+
+_MEDIA = ("video", "audio", "text", "image")
+
+
+def random_document(seed: int):
+    """A small randomized document with forward sync arcs.
+
+    Bounded-window arcs are authored as ``may`` (the solver is allowed
+    to relax them), unbounded ones as ``must`` — which keeps every
+    generated document solvable while exercising both audit severities.
+    """
+    rng = random.Random(seed)
+    builder = DocumentBuilder(f"doc-{seed}", root_kind="seq")
+    channels = []
+    for index in range(4):
+        name = f"ch{index}"
+        builder.channel(name, _MEDIA[index])
+        channels.append(name)
+    sections = rng.randrange(3, 6)
+    leaves: list[tuple[int, str]] = []
+    nodes = {}
+    for section in range(sections):
+        opener = builder.par if section % 2 else builder.seq
+        with opener(f"sec{section}"):
+            for event in range(rng.randrange(2, 5)):
+                name = f"e{section}-{event}"
+                node = builder.imm(
+                    name, channel=rng.choice(channels),
+                    medium=_MEDIA[rng.randrange(len(_MEDIA))],
+                    data=f"{section}/{event}",
+                    duration=float(rng.randrange(200, 3000)))
+                leaves.append((section, name))
+                nodes[(section, name)] = node
+    document = builder.build(validate=False)
+    for _ in range(rng.randrange(3, 8)):
+        src_section, src_name = rng.choice(leaves)
+        later = [leaf for leaf in leaves if leaf[0] > src_section]
+        if not later:
+            continue
+        dst_section, dst_name = rng.choice(later)
+        bounded = rng.random() < 0.5
+        builder.arc(
+            nodes[(dst_section, dst_name)],
+            source=f"/sec{src_section}/{src_name}", destination=".",
+            src_anchor=rng.choice(("begin", "end")),
+            dst_anchor=rng.choice(("begin", "end")),
+            strictness="may" if bounded else "must",
+            offset=float(rng.randrange(0, 200)),
+            min_delay=-float(rng.randrange(0, 100)),
+            max_delay=float(rng.randrange(50, 500)) if bounded else None)
+    return document
+
+
+def assert_reports_identical(batch, reference):
+    """Field-by-field bit-identity of two playback reports."""
+    assert batch.environment == reference.environment
+    assert batch.rate == reference.rate
+    assert batch.freezes_ms == reference.freezes_ms
+    assert batch.played == reference.played
+    assert batch.audits == reference.audits
+    assert batch.navigation_conflicts == reference.navigation_conflicts
+    assert batch.must_violations == reference.must_violations
+    assert batch.may_violations == reference.may_violations
+    assert batch.max_skew_ms == reference.max_skew_ms
+    assert batch.skew_by_channel() == reference.skew_by_channel()
+
+
+CONTROL_GRID = [
+    # (rate, freeze_at_ms, freeze_duration_ms, seek_to_ms)
+    (1.0, None, 0.0, 0.0),
+    (2.0, None, 0.0, 0.0),
+    (0.5, None, 0.0, 0.0),
+    (1.0, 500.0, 1500.0, 0.0),
+    (1.0, None, 0.0, 1200.0),
+    (2.0, 800.0, 700.0, 900.0),
+]
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("doc_seed", range(4))
+    @pytest.mark.parametrize("jitter_seed", (0, 7))
+    def test_batch_matches_reference_across_controls(self, doc_seed,
+                                                     jitter_seed):
+        document = random_document(doc_seed)
+        schedule = schedule_document(document.compile())
+        for environment in (PERFECT, WORKSTATION, PERSONAL_SYSTEM):
+            player = Player(environment, seed=jitter_seed)
+            batch = BatchPlayer(schedule, environment, seed=jitter_seed)
+            for rate, freeze_at, freeze_dur, seek in CONTROL_GRID:
+                reference = player.play_reference(
+                    schedule, rate=rate, freeze_at_ms=freeze_at,
+                    freeze_duration_ms=freeze_dur, seek_to_ms=seek)
+                compact = batch.run_one(
+                    rate=rate, freeze_at_ms=freeze_at,
+                    freeze_duration_ms=freeze_dur, seek_to_ms=seek)
+                assert_reports_identical(compact.materialize(), reference)
+                compiled_play = player.play(
+                    schedule, rate=rate, freeze_at_ms=freeze_at,
+                    freeze_duration_ms=freeze_dur, seek_to_ms=seek)
+                assert_reports_identical(compiled_play, reference)
+
+    def test_compact_statistics_before_materialization(self):
+        """Array-side stats must agree without building any objects."""
+        document = random_document(1)
+        schedule = schedule_document(document.compile())
+        batch = BatchPlayer(schedule, PERSONAL_SYSTEM, seed=3)
+        compact = batch.run_one(rate=1.5, seek_to_ms=600.0)
+        reference = Player(PERSONAL_SYSTEM, seed=3).play_reference(
+            schedule, rate=1.5, seek_to_ms=600.0)
+        # Read the lazy statistics first, then materialize and compare.
+        assert compact.max_skew_ms == reference.max_skew_ms
+        assert compact.played_count == len(reference.played)
+        assert compact.must_violation_count == \
+            len(reference.must_violations)
+        assert compact.may_violation_count == len(reference.may_violations)
+        assert compact.skew_by_channel() == reference.skew_by_channel()
+        assert_reports_identical(compact.materialize(), reference)
+
+    def test_replay_many_matches_seeded_reference_runs(self):
+        document = random_document(2)
+        schedule = schedule_document(document.compile())
+        player = Player(WORKSTATION, seed=11)
+        batch = BatchPlayer(schedule, WORKSTATION, seed=11)
+        reports = batch.replay_many(20, rate=2.0, seek_to_ms=400.0)
+        for replay, compact in enumerate(reports):
+            reference = player.play_reference(
+                schedule, rate=2.0, seek_to_ms=400.0,
+                rng=player.rng_for(replay))
+            assert_reports_identical(compact.materialize(), reference)
+
+    def test_news_corpus_equivalence(self):
+        corpus = make_news_document(stories=2)
+        schedule = schedule_document(corpus.document.compile())
+        for environment in (WORKSTATION, PERSONAL_SYSTEM):
+            player = Player(environment, seed=4)
+            for rate, freeze_at, freeze_dur, seek in CONTROL_GRID:
+                reference = player.play_reference(
+                    schedule, rate=rate, freeze_at_ms=freeze_at,
+                    freeze_duration_ms=freeze_dur, seek_to_ms=seek)
+                compiled_play = player.play(
+                    schedule, rate=rate, freeze_at_ms=freeze_at,
+                    freeze_duration_ms=freeze_dur, seek_to_ms=seek)
+                assert_reports_identical(compiled_play, reference)
+
+
+class TestBatchSemantics:
+    def test_sweep_covers_the_grid_and_matches_reference(self):
+        document = random_document(3)
+        schedule = schedule_document(document.compile())
+        batch = BatchPlayer(schedule, seed=0)
+        rates = (1.0, 2.0)
+        seeks = (0.0, 1000.0)
+        cells = batch.sweep(PROFILES, rates, seeks, replays=2)
+        assert len(cells) == len(PROFILES) * len(rates) * len(seeks)
+        for cell in cells:
+            environment = next(env for env in PROFILES
+                               if env.name == cell.environment)
+            player = Player(environment, seed=0)
+            for replay, compact in enumerate(cell.reports):
+                reference = player.play_reference(
+                    schedule, rate=cell.rate, seek_to_ms=cell.seek_to_ms,
+                    rng=player.rng_for(replay))
+                assert_reports_identical(compact.materialize(), reference)
+
+    def test_strict_mode_raises_like_the_reference(self):
+        """A bounded must arc on a slow channel violates in both
+        engines, with the identical error message."""
+        from repro.core.channels import Medium
+        from repro.core.timebase import MediaTime
+        builder = DocumentBuilder("doc")
+        builder.channel("video", "video")
+        builder.channel("caption", "text")
+        with builder.par("scene"):
+            builder.imm("v", channel="video", medium="video", data="x",
+                        duration=4000)
+            caption = builder.imm("c", channel="caption", data="y",
+                                  duration=1000)
+        document = builder.build()
+        builder.arc(caption, source="../v", destination=".",
+                    min_delay=MediaTime.ms(-50),
+                    max_delay=MediaTime.ms(250))
+        schedule = schedule_document(document.compile())
+        slow = SystemEnvironment(
+            name="slow-captions", jitter_ms=0.0,
+            start_latency_ms={Medium.TEXT: 300.0})
+        with pytest.raises(PlaybackError) as reference_error:
+            Player(slow, strict=True).play_reference(schedule)
+        with pytest.raises(PlaybackError) as batch_error:
+            BatchPlayer(schedule, slow, strict=True).run_one()
+        assert str(batch_error.value) == str(reference_error.value)
+
+    def test_invalid_rate_rejected(self):
+        schedule = schedule_document(random_document(0).compile())
+        with pytest.raises(PlaybackError, match="rate must be positive"):
+            BatchPlayer(schedule).run_one(rate=0.0)
+
+    def test_replay_count_validated(self):
+        schedule = schedule_document(random_document(0).compile())
+        with pytest.raises(PlaybackError, match="at least 1"):
+            BatchPlayer(schedule).replay_many(0)
+
+    def test_conditional_arc_with_bad_path_defers_like_reference(self):
+        """A broken conditional arc only matters when a seek resolves
+        it — both engines must stay quiet until then."""
+        builder = DocumentBuilder("doc")
+        builder.channel("v", "video")
+        with builder.seq("track", channel="v"):
+            builder.imm("a", data="x", duration=1000)
+            b = builder.imm("b", data="y", duration=1000)
+        document = builder.build()
+        b.add_arc(ConditionalArc(source="/track/missing",
+                                 destination="."))
+        schedule = schedule_document(document.compile())
+        player = Player(PERFECT)
+        # No seek: both paths play through.
+        assert_reports_identical(player.play(schedule),
+                                 player.play_reference(schedule))
+        with pytest.raises(PathError):
+            player.play_reference(schedule, seek_to_ms=1500.0)
+        with pytest.raises(PathError):
+            player.play(schedule, seek_to_ms=1500.0)
+
+    def test_program_cache_reuses_compilations(self):
+        schedule = schedule_document(random_document(1).compile())
+        cache = ProgramCache(capacity=2)
+        first = compile_program(schedule, cache=cache)
+        second = compile_program(schedule, cache=cache)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+        assert "1 hit(s)" in cache.describe()
+
+    def test_program_recompiles_after_document_edit(self):
+        """A revision bump must invalidate the player's program slot."""
+        document = random_document(1)
+        schedule = schedule_document(document.compile())
+        player = Player(PERFECT)
+        player.play(schedule)
+        first = player._batch
+        document.bump_revision()
+        player.play(schedule)
+        assert player._batch is not first
+
+    def test_player_reconfiguration_is_not_stale(self):
+        """Mutating a player between plays must reach the engine, like
+        the seed loop which read the settings live on every run."""
+        schedule = schedule_document(random_document(1).compile())
+        player = Player(WORKSTATION, seed=2)
+        player.play(schedule)
+        player.environment = PERSONAL_SYSTEM
+        player.seed = 9
+        reconfigured = Player(PERSONAL_SYSTEM, seed=9)
+        assert_reports_identical(
+            player.play(schedule),
+            reconfigured.play_reference(schedule))
+
+    def test_navigation_conflicts_mutation_does_not_corrupt_cache(self):
+        """The compact property hands out copies of the shared cached
+        conflict list, so consumers cannot poison later runs."""
+        schedule = schedule_document(random_document(0).compile())
+        batch = BatchPlayer(schedule, PERFECT)
+        first = batch.run_one(seek_to_ms=1200.0)
+        first.navigation_conflicts.clear()
+        second = batch.run_one(seek_to_ms=1200.0)
+        reference = Player(PERFECT).play_reference(schedule,
+                                                   seek_to_ms=1200.0)
+        assert second.navigation_conflicts == \
+            reference.navigation_conflicts
+        assert second.materialize().navigation_conflicts == \
+            reference.navigation_conflicts
+
+    def test_configuration_caches_are_bounded(self):
+        """Arbitrary per-reader seeks must not grow memory unboundedly."""
+        from repro.pipeline.program import CONFIG_CACHE_CAPACITY
+        schedule = schedule_document(random_document(2).compile())
+        batch = BatchPlayer(schedule, WORKSTATION)
+        for seek in range(CONFIG_CACHE_CAPACITY * 2):
+            batch.run_one(seek_to_ms=float(seek))
+        assert len(batch._plans) <= CONFIG_CACHE_CAPACITY
+        assert len(batch._nav) <= CONFIG_CACHE_CAPACITY
+        assert len(batch._transforms) <= CONFIG_CACHE_CAPACITY

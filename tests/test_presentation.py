@@ -83,6 +83,36 @@ class TestHints:
         presentation = PresentationMapper().map_document(document)
         assert ("label", "video") in presentation.overlap_pairs()
 
+    def test_overlap_sweep_matches_brute_force(self):
+        """The sort-by-x sweep must agree with the all-pairs check on
+        randomized rect layouts, including touching (non-overlapping)
+        edges and the sorted pair order."""
+        import random
+        from repro.pipeline.presentation import PresentationMap, Region
+        rng = random.Random(1991)
+        for _ in range(25):
+            presentation = PresentationMap()
+            for index in range(rng.randrange(2, 12)):
+                rect = Rect(rng.randrange(0, 900), rng.randrange(0, 900),
+                            rng.randrange(1, 300), rng.randrange(1, 300))
+                presentation.regions[f"ch{index:02d}"] = Region(
+                    channel=f"ch{index:02d}", rect=rect, z_order=index)
+            names = sorted(presentation.regions)
+            brute = [
+                (first, second)
+                for i, first in enumerate(names)
+                for second in names[i + 1:]
+                if presentation.regions[first].rect.intersect(
+                    presentation.regions[second].rect) is not None]
+            assert presentation.overlap_pairs() == brute
+
+    def test_touching_edges_do_not_overlap(self):
+        from repro.pipeline.presentation import PresentationMap, Region
+        presentation = PresentationMap()
+        presentation.regions["a"] = Region("a", Rect(0, 0, 500, 1000), 0)
+        presentation.regions["b"] = Region("b", Rect(500, 0, 500, 1000), 1)
+        assert presentation.overlap_pairs() == []
+
 
 class TestAudioAllocation:
     def test_speakers_round_robin(self):

@@ -58,6 +58,32 @@ class TestQueries:
     def test_change_points(self, schedule):
         assert schedule.change_points() == [0.0, 2000.0, 4000.0, 5000.0]
 
+    def test_query_memoization(self, schedule):
+        """by_channel is computed once; change_points returns a fresh
+        (mutable) list from the cache; events_at answers through the
+        begin index without changing results."""
+        lanes = schedule.by_channel()
+        assert schedule.by_channel() is lanes
+        points = schedule.change_points()
+        points.pop()
+        assert schedule.change_points() == [0.0, 2000.0, 4000.0, 5000.0]
+        for at_ms in (-1.0, 0.0, 1999.999, 2000.0, 4500.0, 9000.0):
+            assert schedule.events_at(at_ms) == [
+                event for event in schedule.events
+                if event.active_at(at_ms)]
+
+    def test_events_at_unsorted_events_fall_back(self, schedule):
+        """A hand-built schedule with unsorted events must still answer
+        events_at identically (linear-scan fallback, original order)."""
+        from repro.timing.schedule import Schedule
+        shuffled = Schedule(compiled=schedule.compiled,
+                            times_ms=dict(schedule.times_ms),
+                            events=list(reversed(schedule.events)))
+        for at_ms in (0.0, 1000.0, 4500.0):
+            assert shuffled.events_at(at_ms) == [
+                event for event in shuffled.events
+                if event.active_at(at_ms)]
+
     def test_channel_utilization(self, schedule):
         utilization = schedule.channel_utilization()
         assert utilization["v"] == pytest.approx(1.0)
