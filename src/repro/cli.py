@@ -14,7 +14,10 @@ tools, one subcommand per pipeline capability:
 * ``pack`` / ``unpack`` — transport packaging;
 * ``query`` — attribute search over a package's descriptor store,
   optionally printing the planner's chosen index plan (``--explain``);
-* ``news`` — emit the built-in Evening News corpus as CMIF text.
+* ``news`` — emit the built-in Evening News corpus as CMIF text;
+* ``ingest`` — stream a directory of CMIF documents through the cold
+  pipeline (parse → compile → graph solve → playback program), warming
+  the serving caches and reporting per-stage throughput.
 
 Usage::
 
@@ -22,6 +25,7 @@ Usage::
     python -m repro.cli validate news.cmif
     python -m repro.cli schedule news.cmif
     python -m repro.cli play news.cmif --environment personal-system
+    python -m repro.cli ingest corpus/ --generate 24
 """
 
 from __future__ import annotations
@@ -271,6 +275,34 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.corpus.ingest import (corpus_paths, generate_corpus,
+                                     ingest_corpus)
+    directory = Path(args.directory)
+    if directory.exists() and not directory.is_dir():
+        print(f"error: {directory} exists and is not a directory",
+              file=sys.stderr)
+        return 2
+    if args.generate:
+        written = generate_corpus(directory, documents=args.generate,
+                                  events=args.events, seed=args.seed)
+        print(f"generated {len(written)} document(s) in {directory}")
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory (use --generate N "
+              f"to create a synthetic corpus)", file=sys.stderr)
+        return 2
+    paths = corpus_paths(directory, args.pattern)
+    if not paths:
+        print(f"error: no {args.pattern} files in {directory}",
+              file=sys.stderr)
+        return 2
+    report = ingest_corpus(paths, engine=args.engine,
+                           relaxation_policy=args.policy,
+                           compile_programs=not args.no_programs)
+    print(report.describe())
+    return 1 if report.failures else 0
+
+
 def cmd_news(args: argparse.Namespace) -> int:
     from repro.corpus import make_news_document
     corpus = make_news_document(stories=args.stories, seed=args.seed)
@@ -385,6 +417,32 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true",
                        help="print the planner's chosen index plan")
     query.set_defaults(handler=cmd_query)
+
+    ingest = commands.add_parser(
+        "ingest", help="bulk-ingest a directory of CMIF documents")
+    ingest.add_argument("directory")
+    ingest.add_argument("--pattern", default="*.cmif",
+                        help="glob for corpus files (default *.cmif)")
+    ingest.add_argument("--engine", choices=("graph", "reference"),
+                        default="graph",
+                        help="cold-path solver: compiled graph (default) "
+                             "or the object-form reference")
+    ingest.add_argument("--policy", choices=("drop-last", "drop-widest"),
+                        default="drop-last",
+                        help="may-arc relaxation policy for the solve "
+                             "stage")
+    ingest.add_argument("--no-programs", action="store_true",
+                        help="stop after scheduling (skip playback-"
+                             "program compilation)")
+    ingest.add_argument("--generate", type=int, metavar="N",
+                        help="first write N synthetic corpus documents "
+                             "into the directory")
+    ingest.add_argument("--events", type=int, default=120,
+                        help="events per generated document "
+                             "(with --generate)")
+    ingest.add_argument("--seed", type=int, default=1991,
+                        help="generator seed (with --generate)")
+    ingest.set_defaults(handler=cmd_ingest)
 
     news = commands.add_parser("news",
                                help="emit the Evening News corpus")

@@ -1,13 +1,20 @@
-"""Document corpora: the paper's running examples plus generators."""
+"""Document corpora: the paper's running examples, generators, ingest."""
 
 from repro.corpus.news import (NewsCorpus, add_generic_story,
                                add_paintings_story, declare_news_channels,
                                make_news_document, make_paintings_fragment)
 from repro.corpus.generate import (make_deep_document, make_flat_document,
                                    make_random_document)
+from repro.corpus.ingest import (CORPUS_SHAPES, INGEST_STAGES,
+                                 IngestFailure, IngestReport,
+                                 IngestedDocument, corpus_paths,
+                                 generate_corpus, ingest_corpus)
 
 __all__ = [
-    "NewsCorpus", "add_generic_story", "add_paintings_story",
-    "declare_news_channels", "make_deep_document", "make_flat_document",
-    "make_news_document", "make_paintings_fragment", "make_random_document",
+    "CORPUS_SHAPES", "INGEST_STAGES", "IngestFailure", "IngestReport",
+    "IngestedDocument", "NewsCorpus", "add_generic_story",
+    "add_paintings_story", "corpus_paths", "declare_news_channels",
+    "generate_corpus", "ingest_corpus", "make_deep_document",
+    "make_flat_document", "make_news_document", "make_paintings_fragment",
+    "make_random_document",
 ]

@@ -1,0 +1,275 @@
+"""Corpus ingest: the cold path from CMIF text to warmed serving caches.
+
+The ROADMAP's fleet-serving posture needs more than warm-cache replay
+speed (PR 3): bringing a *catalog* of documents online means paying the
+cold pipeline — parse → compile → schedule → playback program — once
+per document, for thousands of documents.  This engine streams a
+directory of CMIF text files through that pipeline, warms the
+:class:`~repro.timing.schedule.ScheduleCache` and
+:class:`~repro.pipeline.program.ProgramCache` that the serving path
+reads, and accounts for every stage separately so throughput regressions
+point at the guilty layer.
+
+The schedule stage defaults to the compiled-graph engine
+(:mod:`repro.timing.graph`), which is bit-identical to the reference
+solver and the reason cold scheduling clears the ingest gate
+(``benchmarks/bench_ingest.py``).
+
+Failures are per-document: a malformed file or an unsatisfiable
+constraint set is recorded (with its stage) and the stream moves on —
+one bad document must not stop a catalog.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.document import CmifDocument
+from repro.core.errors import CmifError
+from repro.corpus.generate import (make_deep_document, make_flat_document,
+                                   make_random_document)
+from repro.format.parser import parse_document
+from repro.format.writer import write_document
+from repro.pipeline.program import PlaybackProgram, ProgramCache, \
+    compile_program
+from repro.timing.schedule import (ENGINE_GRAPH, SCHEDULE_ENGINES,
+                                   Schedule, ScheduleCache,
+                                   schedule_document)
+from repro.timing.solver import RELAX_DROP_LAST
+
+#: Pipeline stages, in execution order (the report preserves this).
+INGEST_STAGES = ("parse", "compile", "solve", "program")
+
+#: Document shapes :func:`generate_corpus` cycles through.
+CORPUS_SHAPES = ("flat", "deep", "random")
+
+
+@dataclass
+class IngestedDocument:
+    """One successfully ingested document and its warmed artifacts."""
+
+    path: Path
+    document: CmifDocument
+    schedule: Schedule
+    program: PlaybackProgram | None
+
+    @property
+    def events(self) -> int:
+        return len(self.schedule.events)
+
+
+@dataclass
+class IngestFailure:
+    """One document the pipeline had to skip, and where it failed."""
+
+    path: Path
+    stage: str
+    error: str
+
+    def __str__(self) -> str:
+        return f"{self.path.name} [{self.stage}]: {self.error}"
+
+
+@dataclass
+class IngestReport:
+    """The outcome of one corpus ingest, stage accounting included."""
+
+    engine: str
+    documents: list[IngestedDocument] = field(default_factory=list)
+    failures: list[IngestFailure] = field(default_factory=list)
+    stage_seconds: dict[str, float] = field(
+        default_factory=lambda: {stage: 0.0 for stage in INGEST_STAGES})
+    #: documents/events that *completed* each stage — failed documents
+    #: still burn stage time, so rates divide completions by it rather
+    #: than pretending only the survivors were processed.
+    stage_documents: dict[str, int] = field(
+        default_factory=lambda: {stage: 0 for stage in INGEST_STAGES})
+    stage_events: dict[str, int] = field(
+        default_factory=lambda: {stage: 0 for stage in INGEST_STAGES})
+    wall_seconds: float = 0.0
+    schedule_cache: ScheduleCache | None = None
+    program_cache: ProgramCache | None = None
+
+    @property
+    def document_count(self) -> int:
+        return len(self.documents)
+
+    @property
+    def total_events(self) -> int:
+        return sum(entry.events for entry in self.documents)
+
+    def stage_throughput(self, stage: str) -> tuple[float, float]:
+        """``(documents/s, events/s)`` for one stage (0.0 when unused)."""
+        seconds = self.stage_seconds.get(stage, 0.0)
+        if seconds <= 0.0:
+            return 0.0, 0.0
+        return (self.stage_documents.get(stage, 0) / seconds,
+                self.stage_events.get(stage, 0) / seconds)
+
+    def describe(self) -> str:
+        """The human report the ``ingest`` CLI subcommand prints."""
+        attempted = self.document_count + len(self.failures)
+        lines = [f"ingested {self.document_count}/{attempted} document(s), "
+                 f"{self.total_events} event(s), engine={self.engine}"]
+        for stage in INGEST_STAGES:
+            seconds = self.stage_seconds[stage]
+            if seconds <= 0.0:
+                lines.append(f"  {stage:<8} skipped")
+                continue
+            docs_per_s, events_per_s = self.stage_throughput(stage)
+            lines.append(f"  {stage:<8} {seconds * 1000:8.1f}ms  "
+                         f"{docs_per_s:8.1f} doc/s  "
+                         f"{events_per_s:10.0f} events/s")
+        if self.wall_seconds > 0.0:
+            lines.append(f"  {'total':<8} {self.wall_seconds * 1000:8.1f}ms  "
+                         f"{self.document_count / self.wall_seconds:8.1f} "
+                         f"doc/s  "
+                         f"{self.total_events / self.wall_seconds:10.0f} "
+                         f"events/s")
+        if self.schedule_cache is not None:
+            lines.append(f"  {self.schedule_cache.describe()}")
+        if self.program_cache is not None:
+            lines.append(f"  {self.program_cache.describe()}")
+        for failure in self.failures:
+            lines.append(f"  FAILED {failure}")
+        return "\n".join(lines)
+
+
+def corpus_paths(directory: Path | str,
+                 pattern: str = "*.cmif") -> list[Path]:
+    """The corpus files under ``directory``, in deterministic name order."""
+    return sorted(Path(directory).glob(pattern))
+
+
+def ingest_corpus(source: Path | str | Sequence[Path], *,
+                  engine: str = ENGINE_GRAPH,
+                  relaxation_policy: str = RELAX_DROP_LAST,
+                  channel_serialization: bool = True,
+                  compile_programs: bool = True,
+                  schedule_cache: ScheduleCache | None = None,
+                  program_cache: ProgramCache | None = None,
+                  pattern: str = "*.cmif") -> IngestReport:
+    """Stream a corpus through parse → compile → solve → program.
+
+    ``source`` is a directory (scanned with ``pattern``) or an explicit
+    sequence of file paths.  Caches are created to fit the corpus when
+    not supplied, so every ingested document's schedule and program stay
+    resident for the serving path; pass existing caches to warm those
+    instead.
+    """
+    if engine not in SCHEDULE_ENGINES:
+        raise CmifError(f"unknown ingest engine {engine!r}; expected one "
+                        f"of {SCHEDULE_ENGINES}")
+    if isinstance(source, (str, Path)):
+        paths = corpus_paths(source, pattern)
+    else:
+        paths = list(source)
+    if schedule_cache is None:
+        schedule_cache = ScheduleCache(capacity=max(len(paths), 1))
+    if program_cache is None and compile_programs:
+        program_cache = ProgramCache(capacity=max(len(paths), 1))
+    report = IngestReport(engine=engine, schedule_cache=schedule_cache,
+                          program_cache=program_cache)
+    stage_seconds = report.stage_seconds
+    wall_start = time.perf_counter()
+    for path in paths:
+        entry = _ingest_one(path, report, stage_seconds, engine,
+                            relaxation_policy, channel_serialization,
+                            compile_programs, schedule_cache,
+                            program_cache)
+        if entry is not None:
+            report.documents.append(entry)
+    report.wall_seconds = time.perf_counter() - wall_start
+    return report
+
+
+def _ingest_one(path: Path, report: IngestReport,
+                stage_seconds: dict[str, float], engine: str,
+                relaxation_policy: str, channel_serialization: bool,
+                compile_programs: bool, schedule_cache: ScheduleCache,
+                program_cache: ProgramCache | None
+                ) -> IngestedDocument | None:
+    """One document through the pipeline; None (and a failure) on error."""
+    stage_documents = report.stage_documents
+    stage_events = report.stage_events
+    stage = "parse"
+    start = time.perf_counter()
+    try:
+        text = path.read_text(encoding="utf-8")
+        document = parse_document(text)
+        stage_seconds["parse"] += time.perf_counter() - start
+        stage_documents["parse"] += 1
+
+        stage = "compile"
+        start = time.perf_counter()
+        compiled = document.compile()
+        stage_seconds["compile"] += time.perf_counter() - start
+        stage_documents["compile"] += 1
+        # The event count exists from here on; credit the parse stage
+        # retroactively so both front-door stages report events/s.
+        stage_events["parse"] += len(compiled.events)
+        stage_events["compile"] += len(compiled.events)
+
+        stage = "solve"
+        start = time.perf_counter()
+        schedule = schedule_document(
+            compiled, channel_serialization=channel_serialization,
+            relaxation_policy=relaxation_policy, cache=schedule_cache,
+            engine=engine)
+        stage_seconds["solve"] += time.perf_counter() - start
+        stage_documents["solve"] += 1
+        stage_events["solve"] += len(schedule.events)
+
+        program = None
+        if compile_programs:
+            stage = "program"
+            start = time.perf_counter()
+            program = compile_program(schedule, cache=program_cache)
+            stage_seconds["program"] += time.perf_counter() - start
+            stage_documents["program"] += 1
+            stage_events["program"] += len(schedule.events)
+    except (CmifError, OSError) as error:
+        # The failed attempt still burned this stage's time; without it
+        # the per-stage report would show a fast stage even when failing
+        # documents dominate the wall clock.
+        stage_seconds[stage] += time.perf_counter() - start
+        report.failures.append(IngestFailure(path, stage, str(error)))
+        return None
+    return IngestedDocument(path=path, document=document,
+                            schedule=schedule, program=program)
+
+
+def generate_corpus(directory: Path | str, *, documents: int = 9,
+                    events: int = 120, seed: int = 1991,
+                    shapes: Iterable[str] = CORPUS_SHAPES) -> list[Path]:
+    """Write a synthetic CMIF corpus into ``directory``.
+
+    Cycles the generator shapes of :mod:`repro.corpus.generate` so the
+    corpus mixes wide, deep and random-arc documents; each file is the
+    text form :func:`ingest_corpus` reads back.  Returns the written
+    paths in ingest order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shape_cycle = list(shapes)
+    if not shape_cycle:
+        raise CmifError("generate_corpus needs at least one shape")
+    written: list[Path] = []
+    for index in range(documents):
+        shape = shape_cycle[index % len(shape_cycle)]
+        if shape == "flat":
+            document = make_flat_document(events)
+        elif shape == "deep":
+            document = make_deep_document(max(4, events // 8))
+        elif shape == "random":
+            document = make_random_document(seed + index, events=events)
+        else:
+            raise CmifError(f"unknown corpus shape {shape!r}; expected "
+                            f"one of {CORPUS_SHAPES}")
+        path = directory / f"{index:03d}-{shape}.cmif"
+        path.write_text(write_document(document), encoding="utf-8")
+        written.append(path)
+    return written

@@ -16,6 +16,7 @@ run from ``;`` to end of line.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -49,61 +50,68 @@ class Token:
 
 _DELIMITERS = set("()\";")
 
+#: One master scanner instead of the seed's char-by-char loop: every
+#: position matches exactly one alternative (atoms swallow anything that
+#: is not whitespace or a delimiter), except a ``"`` opening a string
+#: with escapes/newlines, which falls through to :func:`_read_string`.
+#: The parse stage is the corpus-ingest pipeline's front door, so the
+#: tokenizer is the one place in the format layer worth this treatment.
+_TOKEN_RE = re.compile(
+    r"""[^\S\n]+                  # whitespace except newline: skip
+      | \n+                       # newlines: tracked for positions
+      | ;[^\n]*                   # comment to end of line
+      | (?P<open>\()
+      | (?P<close>\))
+      | (?P<string>"[^"\\\n]*")   # fast path: no escapes, single line
+      | (?P<atom>[^\s()";]+)
+    """, re.VERBOSE)
+
 
 def tokenize(text: str) -> Iterator[Token]:
     """Tokenize s-expression source text, tracking line/column."""
     line = 1
-    column = 1
-    i = 0
+    line_start = 0   # offset of the current line's first character
+    position = 0
     length = len(text)
-    while i < length:
-        ch = text[i]
-        if ch == "\n":
-            line += 1
-            column = 1
-            i += 1
-            continue
-        if ch.isspace():
-            column += 1
-            i += 1
-            continue
-        if ch == ";":
-            while i < length and text[i] != "\n":
-                i += 1
-            continue
-        if ch == "(":
-            yield Token("open", "(", line, column)
-            i += 1
-            column += 1
-            continue
-        if ch == ")":
-            yield Token("close", ")", line, column)
-            i += 1
-            column += 1
-            continue
-        if ch == '"':
+    match = _TOKEN_RE.match
+    while position < length:
+        found = match(text, position)
+        if found is None:
+            # Only a quote can fail the master pattern: a string with
+            # escapes, embedded newlines, or no terminator.
+            column = position - line_start + 1
             value, consumed, newlines, end_column = _read_string(
-                text, i, line, column)
+                text, position, line, column)
             yield Token("string", value, line, column)
-            i += consumed
+            position += consumed
             if newlines:
                 line += newlines
-                column = end_column
-            else:
-                column += consumed
+                line_start = position - (end_column - 1)
             continue
-        start = i
-        start_column = column
-        while i < length and not text[i].isspace() \
-                and text[i] not in _DELIMITERS:
-            i += 1
-            column += 1
-        word = text[start:i]
-        number = _try_number(word)
-        if number is not None:
-            yield Token("number", number, line, start_column)
+        kind = found.lastgroup
+        start = found.start()
+        end = found.end()
+        if kind is None:            # whitespace, newlines or a comment
+            if text[start] == "\n":
+                line += end - start
+                line_start = end
+            position = end
+            continue
+        column = start - line_start + 1
+        if kind == "atom":
+            word = found.group("atom")
+            number = _try_number(word)
+            if number is not None:
+                yield Token("number", number, line, column)
+            else:
+                yield Token("symbol", Symbol(word), line, column)
+        elif kind == "string":
+            yield Token("string", text[start + 1:end - 1], line, column)
+        elif kind == "open":
+            yield Token("open", "(", line, column)
         else:
-            yield Token("symbol", Symbol(word), line, start_column)
+            yield Token("close", ")", line, column)
+        position = end
 
 
 def _read_string(text: str, start: int, line: int,
@@ -145,6 +153,10 @@ def _read_string(text: str, start: int, line: int,
 
 def _try_number(word: str) -> int | float | None:
     """Parse ``word`` as a number, or None when it is a symbol."""
+    # Cheap reject before the exception-priced parses: every numeric
+    # token starts with a digit, sign or dot; most atoms are names.
+    if word[0] not in "+-.0123456789":
+        return None
     try:
         return int(word)
     except ValueError:

@@ -122,8 +122,7 @@ class IncrementalScheduler:
         self._wrap_schedule()
 
     def _wrap_schedule(self) -> None:
-        self._schedule = make_schedule(self.compiled, self.system,
-                                       self.solver.result)
+        self._schedule = make_schedule(self.compiled, self.solver.result)
         self._events_by_path = {event.event.node_path: event
                                 for event in self._schedule.events}
         self._publish()

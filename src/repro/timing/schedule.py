@@ -17,10 +17,17 @@ from repro.core.descriptors import EventDescriptor
 from repro.core.document import CmifDocument, CompiledDocument
 from repro.core.errors import SchedulingConflict, ValueError_
 from repro.core.timebase import times_close
-from repro.timing.constraints import (Constraint, ConstraintSystem,
-                                      TimeVar, VarKind, begin_var,
+from repro.timing.constraints import (Constraint, TimeVar, begin_var,
                                       build_constraints, end_var)
+from repro.timing.graph import compile_graph, solve_graph
 from repro.timing.solver import (RELAX_DROP_LAST, SolverResult, solve)
+
+#: Cold-path solve engines: the pinned object-form reference, and the
+#: compiled-graph lowering (bit-identical, benched >=5x on corpus
+#: documents — see benchmarks/bench_ingest.py).
+ENGINE_REFERENCE = "reference"
+ENGINE_GRAPH = "graph"
+SCHEDULE_ENGINES = (ENGINE_REFERENCE, ENGINE_GRAPH)
 
 
 @dataclass(frozen=True)
@@ -279,11 +286,15 @@ class ScheduleCache:
 
     def schedule_for(self, document: CmifDocument, *,
                      channel_serialization: bool = True,
-                     relaxation_policy: str = RELAX_DROP_LAST) -> Schedule:
+                     relaxation_policy: str = RELAX_DROP_LAST,
+                     engine: str = ENGINE_REFERENCE) -> Schedule:
         """The document's schedule, compiled and solved at most once.
 
         On a miss this pays the full compile → build → solve → wrap
         pipeline; every further call at the same revision is a lookup.
+        The two engines are bit-identical, so the key ignores ``engine``
+        and a graph-warmed entry (corpus ingest) serves reference-path
+        consumers directly.
         """
         cached = self.get(document,
                           channel_serialization=channel_serialization,
@@ -293,7 +304,8 @@ class ScheduleCache:
         schedule = schedule_document(
             document.compile(),
             channel_serialization=channel_serialization,
-            relaxation_policy=relaxation_policy)
+            relaxation_policy=relaxation_policy,
+            engine=engine)
         self.put(document, schedule,
                  channel_serialization=channel_serialization,
                  relaxation_policy=relaxation_policy)
@@ -314,24 +326,37 @@ class ScheduleCache:
 def schedule_document(compiled: CompiledDocument, *,
                       channel_serialization: bool = True,
                       relaxation_policy: str = RELAX_DROP_LAST,
-                      cache: ScheduleCache | None = None
+                      cache: ScheduleCache | None = None,
+                      engine: str = ENGINE_REFERENCE
                       ) -> Schedule:
     """Compile-to-timeline in one call: build constraints, solve, wrap.
 
     This is the main scheduling entry point used by the player, viewer
     and benches.  With ``cache``, the solve is skipped whenever the
-    document's revision already has a schedule.
+    document's revision already has a schedule.  ``engine`` selects the
+    cold-path solver: ``"reference"`` is the pinned object-form solve,
+    ``"graph"`` the compiled-graph lowering
+    (:mod:`repro.timing.graph`) — bit-identical output, so cache keys
+    deliberately ignore the engine.
     """
+    if engine not in SCHEDULE_ENGINES:
+        raise ValueError_(f"unknown schedule engine {engine!r}; expected "
+                          f"one of {SCHEDULE_ENGINES}")
     if cache is not None:
         cached = cache.get(compiled.document,
                            channel_serialization=channel_serialization,
                            relaxation_policy=relaxation_policy)
         if cached is not None:
             return cached
-    system = build_constraints(
-        compiled, channel_serialization=channel_serialization)
-    result = solve(system, relaxation_policy=relaxation_policy)
-    schedule = make_schedule(compiled, system, result)
+    if engine == ENGINE_GRAPH:
+        graph = compile_graph(
+            compiled, channel_serialization=channel_serialization)
+        result = solve_graph(graph, relaxation_policy=relaxation_policy)
+    else:
+        system = build_constraints(
+            compiled, channel_serialization=channel_serialization)
+        result = solve(system, relaxation_policy=relaxation_policy)
+    schedule = make_schedule(compiled, result)
     if cache is not None:
         cache.put(compiled.document, schedule,
                   channel_serialization=channel_serialization,
@@ -362,9 +387,13 @@ def event_order(event: ScheduledEvent) -> tuple[float, float, str]:
     return (event.begin_ms, event.end_ms, event.event.event_id)
 
 
-def make_schedule(compiled: CompiledDocument, system: ConstraintSystem,
+def make_schedule(compiled: CompiledDocument,
                   result: SolverResult) -> Schedule:
-    """Wrap a solver result into a :class:`Schedule`."""
+    """Wrap a solver result into a :class:`Schedule`.
+
+    Engine-agnostic: both the reference solve and the graph solve
+    produce the same :class:`SolverResult` shape.
+    """
     events = [wrap_event(event, result.times_ms)
               for event in compiled.events]
     events.sort(key=event_order)
@@ -380,7 +409,8 @@ def make_schedule(compiled: CompiledDocument, system: ConstraintSystem,
 def schedule_for(document: CmifDocument, *,
                  cache: ScheduleCache | None = None,
                  channel_serialization: bool = True,
-                 relaxation_policy: str = RELAX_DROP_LAST) -> Schedule:
+                 relaxation_policy: str = RELAX_DROP_LAST,
+                 engine: str = ENGINE_REFERENCE) -> Schedule:
     """The document's schedule, through a cache when one is given.
 
     The one cache-or-solve branch the player, viewer and CLI share.
@@ -388,7 +418,7 @@ def schedule_for(document: CmifDocument, *,
     if cache is not None:
         return cache.schedule_for(
             document, channel_serialization=channel_serialization,
-            relaxation_policy=relaxation_policy)
+            relaxation_policy=relaxation_policy, engine=engine)
     return schedule_document(
         document.compile(), channel_serialization=channel_serialization,
-        relaxation_policy=relaxation_policy)
+        relaxation_policy=relaxation_policy, engine=engine)

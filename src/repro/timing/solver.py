@@ -45,6 +45,25 @@ RELAX_DROP_LAST = "drop-last"
 RELAX_DROP_WIDEST = "drop-widest"
 RELAXATION_POLICIES = (RELAX_DROP_LAST, RELAX_DROP_WIDEST)
 
+#: Phase-2 cleanup algorithms (ablation axis; see DESIGN.md).
+#: ``ranked`` processes its worklist in topological-rank batches and
+#: checks for a positive-cycle certificate after a handful of laps —
+#: the shared semantics of :func:`solve` and the compiled graph solver
+#: (:mod:`repro.timing.graph`).  ``fifo`` is the pre-graph queue-based
+#: SPFA kept as the benchmark baseline: identical times on feasible
+#: systems, but its certificate only triggers after |V| relaxations of
+#: one variable, which on conflicted documents means seconds of cycle
+#: pumping before the conflict is even reported.
+CLEANUP_RANKED = "ranked"
+CLEANUP_FIFO = "fifo"
+CLEANUP_ALGORITHMS = (CLEANUP_RANKED, CLEANUP_FIFO)
+
+#: How many re-relaxations of one variable the ranked cleanup tolerates
+#: before walking the predecessor graph for a cycle certificate.  Must
+#: match :mod:`repro.timing.graph` exactly — the two implementations are
+#: pinned bit-identical, certification points included.
+SUSPICION_LAPS = 16
+
 
 @dataclass
 class SolverResult:
@@ -73,31 +92,32 @@ class _Infeasible(Exception):
         self.cycle = cycle
 
 
-def _solve_once(system: ConstraintSystem,
-                skipped: set[int]) -> dict[TimeVar, float]:
-    """One SPFA longest-path pass; raises :class:`_Infeasible` on a cycle.
+def _build_adjacency(system: ConstraintSystem
+                     ) -> list[list[tuple[int, float, Constraint]]]:
+    """Adjacency for the whole system, implied root edges included.
 
-    ``skipped`` holds ids of constraints already relaxed away.
+    For constraint ``var - base >= w``, an edge ``base -> var`` of
+    weight ``w``.  The paper's implied arc with the root ("All nodes
+    have an implied synchronization arc with the root node") is
+    materialized as an explicit zero edge per variable, so upper-bound
+    chains that would push the root later show up as positive cycles,
+    i.e. genuine conflicts.
+
+    Built once per :func:`solve` call; the may-relaxation loop masks
+    dropped constraints through the ``skipped`` sets the passes take
+    instead of rebuilding this structure (and N fresh implied
+    constraints) on every retry.
     """
     index = system.var_index
     count = len(system.variables)
     if system.root_begin is None:
         raise SchedulingConflict("constraint system has no root anchor")
     root = index[system.root_begin]
-
-    # Adjacency: for constraint var - base >= w, edge base -> var (w).
     outgoing: list[list[tuple[int, float, Constraint]]] = [
         [] for _ in range(count)]
     for constraint in system.constraints:
-        if id(constraint) in skipped:
-            continue
         outgoing[index[constraint.base]].append(
             (index[constraint.var], constraint.weight_ms, constraint))
-    # The paper's implied arc with the root: "All nodes have an implied
-    # synchronization arc with the root node."  Every variable is at or
-    # after the root; materializing the edges (rather than relying on the
-    # initial distances) makes upper-bound chains that would push the
-    # root later show up as positive cycles, i.e. genuine conflicts.
     root_var = system.root_begin
     for var, i in index.items():
         if i != root:
@@ -105,39 +125,25 @@ def _solve_once(system: ConstraintSystem,
                                  ConstraintKind.ROOT_ANCHOR,
                                  note="implied arc with the root")
             outgoing[root].append((i, 0.0, implied))
-
-    dist = [0.0] * count          # every event starts no earlier than root
-    predecessor: list[Constraint | None] = [None] * count
-    # Phase 1: one pass in topological order of the non-negative edges.
-    # Real documents are almost pure DAGs there (upper bounds are the
-    # only negative edges), so this settles nearly every variable with
-    # exactly one relaxation per edge.  Naive label-correcting instead
-    # climbs in waves — a par fork hands the whole region estimate 0 and
-    # every chain variable is then re-relaxed O(chain length) times.
-    dirty = _topological_pass(outgoing, dist, predecessor, None, count)
-    # Phase 2: label-correcting cleanup for whatever phase 1 cannot
-    # order — binding upper bounds and variables on (zero or positive)
-    # cycles — with the positive-cycle certificate for the latter.  On
-    # clean documents ``dirty`` is empty and this costs nothing.
-    if dirty:
-        _spfa(outgoing, dist, predecessor, dirty, index)
-
-    return {var: dist[index[var]] for var in system.variables}
+    return outgoing
 
 
 def _topological_pass(outgoing: list[list[tuple[int, float, "Constraint"]]],
                       dist: list[float],
                       predecessor: list["Constraint | None"],
                       nodes: "Iterable[int] | None", count: int,
-                      skipped: set[int] | None = None) -> list[int]:
+                      skipped: set[int] | None = None,
+                      rank: list[int] | None = None) -> list[int]:
     """Kahn's algorithm over the non-negative edges among ``nodes``.
 
     ``nodes=None`` means the whole graph.  Relaxes every edge (negative
     ones included) out of each processed variable and returns the
     variables that may still be unsettled: members a non-negative cycle
     kept out of the topological order, plus targets a negative edge
-    actually moved after they were ordered.  The SPFA cleanup only needs
-    to start from those.
+    actually moved after they were ordered.  The phase-2 cleanup only
+    needs to start from those.  When ``rank`` is given, each processed
+    variable's pop position is recorded there (the ranked cleanup's
+    batch order).
     """
     if nodes is None:
         member = None
@@ -160,6 +166,8 @@ def _topological_pass(outgoing: list[list[tuple[int, float, "Constraint"]]],
     popped = 0
     while ready:
         here = ready.popleft()
+        if rank is not None:
+            rank[here] = popped
         popped += 1
         base_dist = dist[here]
         for target, weight, constraint in outgoing[here]:
@@ -232,6 +240,64 @@ def _spfa(outgoing: list[list[tuple[int, float, "Constraint"]]],
     return changed
 
 
+def _ranked_cleanup(outgoing: list[list[tuple[int, float, "Constraint"]]],
+                    dist: list[float],
+                    predecessor: list["Constraint | None"],
+                    rank: list[int], seeds: list[int],
+                    index: dict[TimeVar, int],
+                    skipped: set[int] | None = None) -> None:
+    """Label-correcting cleanup in topological rank batches.
+
+    Each round processes its worklist in phase-1 pop order, so forward
+    propagation through an already-settled region completes within the
+    round and only genuinely backward influence (binding upper bounds,
+    cycle laps) carries a node into the next round.  A variable
+    re-relaxed more than :data:`SUSPICION_LAPS` times triggers the
+    predecessor-walk certificate — on a positive cycle that fires after
+    a few laps instead of the FIFO queue's |V|, which is what makes
+    conflicted documents cheap to diagnose.
+
+    Converges to the same fixpoint as :func:`_spfa` (relaxation order
+    cannot change the unique least fixpoint); the certified cycles are
+    the ranked schedule's own, which is why the FIFO variant is kept
+    separately as the pre-graph baseline.  This implementation is pinned
+    bit-identical to the array form in :mod:`repro.timing.graph`.
+    """
+    count = len(dist)
+    relax_count = [0] * count
+    in_batch = bytearray(count)
+    batch: list[int] = []
+    for seed in seeds:
+        if not in_batch[seed]:
+            in_batch[seed] = 1
+            batch.append(seed)
+    rank_of = rank.__getitem__
+    while batch:
+        batch.sort(key=rank_of)
+        next_batch: list[int] = []
+        in_batch = bytearray(count)
+        for here in batch:
+            base_dist = dist[here]
+            for target, weight, constraint in outgoing[here]:
+                if skipped and id(constraint) in skipped:
+                    continue
+                candidate = base_dist + weight
+                if candidate > dist[target] + 1e-9:
+                    dist[target] = candidate
+                    predecessor[target] = constraint
+                    relax_count[target] += 1
+                    if relax_count[target] > SUSPICION_LAPS:
+                        cycle = _find_cycle(predecessor, target, index)
+                        if cycle is None:
+                            relax_count[target] = 1
+                        else:
+                            raise _Infeasible(cycle)
+                    if not in_batch[target]:
+                        in_batch[target] = 1
+                        next_batch.append(target)
+        batch = next_batch
+
+
 def _find_cycle(predecessor: list["Constraint | None"], start: int,
                 index: dict[TimeVar, int]) -> list[Constraint] | None:
     """The positive cycle in the predecessor graph through ``start``.
@@ -276,7 +342,8 @@ def _pick_relaxable(cycle: list[Constraint],
 
 def solve(system: ConstraintSystem, *,
           relaxation_policy: str = RELAX_DROP_LAST,
-          max_relaxations: int | None = None) -> SolverResult:
+          max_relaxations: int | None = None,
+          cleanup: str = CLEANUP_RANKED) -> SolverResult:
     """Solve the system, relaxing may constraints as needed.
 
     Raises :class:`SchedulingConflict` when a cycle of must constraints
@@ -284,21 +351,55 @@ def solve(system: ConstraintSystem, *,
     so authoring tools can report them (the paper's "CMIF plays a role in
     signalling problems, allowing other mechanisms to provide
     solutions").
+
+    ``cleanup`` selects the phase-2 algorithm: the default ``ranked``
+    cleanup is the pinned reference the compiled graph solver
+    (:mod:`repro.timing.graph`) matches bit-for-bit; ``fifo`` keeps the
+    pre-graph SPFA as the benchmark baseline (identical times, but cycle
+    certification after |V| laps — seconds of pumping on conflicted
+    documents, see ``benchmarks/bench_ingest.py``).
     """
     if relaxation_policy not in RELAXATION_POLICIES:
         raise SchedulingConflict(
             f"unknown relaxation policy {relaxation_policy!r}; expected "
             f"one of {RELAXATION_POLICIES}")
+    if cleanup not in CLEANUP_ALGORITHMS:
+        raise SchedulingConflict(
+            f"unknown cleanup algorithm {cleanup!r}; expected one of "
+            f"{CLEANUP_ALGORITHMS}")
     relaxable_total = sum(1 for c in system.constraints if c.relaxable)
     budget = (relaxable_total if max_relaxations is None
               else min(max_relaxations, relaxable_total))
+    outgoing = _build_adjacency(system)
+    index = system.var_index
+    count = len(system.variables)
     skipped: set[int] = set()
     dropped: list[Constraint] = []
     iterations = 0
     while True:
         iterations += 1
+        dist = [0.0] * count      # every event starts no earlier than root
+        predecessor: list[Constraint | None] = [None] * count
+        rank = [count + node for node in range(count)]
         try:
-            times = _solve_once(system, skipped)
+            # Phase 1: one pass in topological order of the non-negative
+            # edges.  Real documents are almost pure DAGs there (upper
+            # bounds are the only negative edges), so this settles nearly
+            # every variable with exactly one relaxation per edge.
+            dirty = _topological_pass(outgoing, dist, predecessor, None,
+                                      count, skipped, rank)
+            # Phase 2: cleanup for whatever phase 1 cannot order —
+            # binding upper bounds and variables on (zero or positive)
+            # cycles — with the positive-cycle certificate for the
+            # latter.  On clean documents this costs nothing.
+            if dirty:
+                if cleanup == CLEANUP_RANKED:
+                    _ranked_cleanup(outgoing, dist, predecessor, rank,
+                                    dirty, index, skipped)
+                else:
+                    _spfa(outgoing, dist, predecessor, dirty, index,
+                          skipped)
+            times = {var: dist[index[var]] for var in system.variables}
             return SolverResult(times_ms=times, dropped=dropped,
                                 iterations=iterations)
         except _Infeasible as infeasible:
@@ -390,6 +491,12 @@ class IncrementalSolver:
                                         note="implied arc with the root"))
         self._dist: list[float] = [0.0] * count
         self._pred: list[Constraint | None] = [None] * count
+        #: support-graph reverse index (base position -> positions whose
+        #: SPFA predecessor hangs off it), maintained incrementally
+        #: alongside ``_pred``; None means "rebuild lazily on next use"
+        #: (set after a full resolve rewrites every predecessor).
+        self._dependents: list[set[int]] | None = None
+        self._dep_base: list[int] = []
         self._times: dict[TimeVar, float] = {}
         self._dropped: list[Constraint] = []
         self._skipped: set[int] = set()
@@ -425,6 +532,9 @@ class IncrementalSolver:
             self._incoming.append([])
             self._dist.append(0.0)
             self._pred.append(None)
+            if self._dependents is not None:
+                self._dependents.append(set())
+                self._dep_base.append(-1)
             self._times[var] = 0.0
             self._attach(Constraint(var, root_var, 0.0,
                                     ConstraintKind.ROOT_ANCHOR,
@@ -435,6 +545,7 @@ class IncrementalSolver:
     def _full_resolve(self) -> None:
         """From-scratch solve with the may-relaxation loop of :func:`solve`."""
         count = len(self._dist)
+        self._dependents = None    # every predecessor is about to change
         relaxable_total = sum(
             1 for constraint in self.system.constraints
             if constraint.relaxable)
@@ -445,12 +556,17 @@ class IncrementalSolver:
             iterations += 1
             self._dist[:] = [0.0] * count
             self._pred[:] = [None] * count
+            rank = [count + node for node in range(count)]
             try:
                 dirty = _topological_pass(self._outgoing, self._dist,
-                                          self._pred, None, count, skipped)
+                                          self._pred, None, count, skipped,
+                                          rank)
                 if dirty:
-                    _spfa(self._outgoing, self._dist, self._pred,
-                          dirty, self._index, skipped)
+                    # Ranked cleanup, like solve()'s default: the engine's
+                    # fallback solves must pick the same cycles (hence the
+                    # same may drops) as a from-scratch reference solve.
+                    _ranked_cleanup(self._outgoing, self._dist, self._pred,
+                                    rank, dirty, self._index, skipped)
                 break
             except _Infeasible as infeasible:
                 victim = _pick_relaxable(infeasible.cycle,
@@ -475,6 +591,47 @@ class IncrementalSolver:
 
     # -- support tracking -----------------------------------------------
 
+    def _dependents_map(self) -> list[set[int]]:
+        """``base position -> dependent positions`` of the support graph.
+
+        Rebuilt from ``_pred`` only after a full resolve invalidated it;
+        otherwise :meth:`_note_support_changes` has kept it current, so
+        removal deltas stop paying an O(V) map rebuild each.
+        """
+        if self._dependents is None:
+            count = len(self._pred)
+            dependents: list[set[int]] = [set() for _ in range(count)]
+            dep_base = [-1] * count
+            index = self._index
+            for position, constraint in enumerate(self._pred):
+                if constraint is None:
+                    continue
+                base = index[constraint.base]
+                dependents[base].add(position)
+                dep_base[position] = base
+            self._dependents = dependents
+            self._dep_base = dep_base
+        return self._dependents
+
+    def _note_support_changes(self, positions: Iterable[int]) -> None:
+        """Re-index ``positions`` whose predecessor may have changed."""
+        if self._dependents is None:
+            return
+        dependents = self._dependents
+        dep_base = self._dep_base
+        index = self._index
+        pred = self._pred
+        for position in positions:
+            constraint = pred[position]
+            base = -1 if constraint is None else index[constraint.base]
+            recorded = dep_base[position]
+            if base != recorded:
+                if recorded >= 0:
+                    dependents[recorded].discard(position)
+                if base >= 0:
+                    dependents[base].add(position)
+                dep_base[position] = base
+
     def _supported_by(self, removed_ids: set[int]) -> set[int]:
         """Indices whose value may rest on a removed constraint.
 
@@ -490,16 +647,11 @@ class IncrementalSolver:
                     and id(constraint) in removed_ids}
         if not affected:
             return affected
-        dependents: dict[int, list[int]] = {}
-        for position, constraint in enumerate(pred):
-            if constraint is None:
-                continue
-            dependents.setdefault(self._index[constraint.base],
-                                  []).append(position)
+        dependents = self._dependents_map()
         frontier = list(affected)
         while frontier:
             base = frontier.pop()
-            for dependent in dependents.get(base, ()):
+            for dependent in dependents[base]:
                 if dependent not in affected:
                     affected.add(dependent)
                     frontier.append(dependent)
@@ -595,6 +747,9 @@ class IncrementalSolver:
                 "edit made the region infeasible; re-solving with may "
                 "relaxation", resolve_fallback)
         changed |= affected
+        # Phases 0-2 only write predecessors inside the affected region
+        # plus the SPFA-changed set; re-index exactly those.
+        self._note_support_changes(changed)
         variables = self.system.variables
         changed_vars: set[TimeVar] = set()
         for position in changed:

@@ -261,6 +261,33 @@ def test_incremental_solver_matches_solve_exactly():
     assert outcome.changed is not None
 
 
+def test_removal_sequences_keep_dependents_index_consistent():
+    """Repeated removal deltas exercise the cached support index.
+
+    The dependents map is built once and then maintained incrementally
+    across applies; every intermediate solution must still match a
+    from-scratch solve (a stale index would mis-scope the reset region
+    and leave wrong times behind).
+    """
+    for seed in (3, 9, 14):
+        rng = random.Random(seed * 101)
+        document = _make_document(seed)
+        engine = IncrementalScheduler(document)
+        leaf_paths = _leaf_paths(document)
+        for edit in range(8):
+            first, second = sorted(rng.sample(range(len(leaf_paths)), 2))
+            # Forward lower-bound arcs only: always satisfiable, so every
+            # removal takes the incremental (cached-index) path.
+            engine.add_arc("/", SyncArc(
+                source=leaf_paths[first],
+                destination=leaf_paths[second],
+                offset=MediaTime.ms(float(rng.randrange(0, 500))),
+                min_delay=MediaTime.ms(0.0), max_delay=None))
+        while document.root.arcs:
+            engine.remove_arc("/", len(document.root.arcs) - 1)
+            _assert_identical(engine, document)
+
+
 def test_retime_delta_replaces_duration_pair():
     document = _make_document(8)
     system = build_constraints(document.compile())
