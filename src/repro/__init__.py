@@ -30,7 +30,9 @@ Subpackages:
 * :mod:`repro.media` — synthetic media substrate;
 * :mod:`repro.store` — the attribute-indexed data store (DDBMS);
 * :mod:`repro.transport` — environments, negotiation, packaging;
-* :mod:`repro.corpus` — the Evening News and synthetic corpora.
+* :mod:`repro.corpus` — the Evening News and synthetic corpora;
+* :mod:`repro.serving` — the multi-tenant session engine (admission by
+  negotiation, compiled adaptation, shared-cache batch replay).
 """
 
 from repro.core import (Anchor, ChannelDictionary, CmifDocument, CmifError,
@@ -43,6 +45,7 @@ from repro.format import (document_from_json, document_to_json,
 from repro.pipeline import (CaptureSession, ConstraintFilter, Player,
                             PresentationMapper, StructureMapper,
                             run_pipeline)
+from repro.serving import SessionEngine
 from repro.store import DataStore
 from repro.timing import Schedule, schedule_document
 from repro.transport import (SystemEnvironment, negotiate, pack, unpack)
@@ -54,7 +57,8 @@ __all__ = [
     "CmifError", "ConstraintFilter", "DataBlock", "DataDescriptor",
     "DataStore", "DocumentBuilder", "EventDescriptor", "MediaTime",
     "Medium", "NodeKind", "Player", "PresentationMapper", "Schedule",
-    "SchedulingConflict", "Strictness", "StructureMapper", "StyleDictionary",
+    "SchedulingConflict", "SessionEngine", "Strictness",
+    "StructureMapper", "StyleDictionary",
     "SyncArc", "SystemEnvironment", "TimeBase", "Unit",
     "document_from_json", "document_to_json", "negotiate", "pack",
     "parse_document", "run_pipeline", "schedule_document", "unpack",

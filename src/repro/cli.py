@@ -10,14 +10,18 @@ tools, one subcommand per pipeline capability:
 * ``arcs`` — print the figure-9 arc table;
 * ``play`` — simulate playback on a named environment profile and
   report arc audits;
-* ``negotiate`` — the can-this-system-play-this-document check;
+* ``negotiate`` — the can-this-system-play-this-document check
+  (``--json`` for the machine-readable verdict);
 * ``pack`` / ``unpack`` — transport packaging;
 * ``query`` — attribute search over a package's descriptor store,
   optionally printing the planner's chosen index plan (``--explain``);
 * ``news`` — emit the built-in Evening News corpus as CMIF text;
 * ``ingest`` — stream a directory of CMIF documents through the cold
   pipeline (parse → compile → graph solve → playback program), warming
-  the serving caches and reporting per-stage throughput.
+  the serving caches and reporting per-stage throughput;
+* ``serve`` — admit a corpus against environment profiles through the
+  multi-tenant session engine (negotiate → adapt → batch replay) and
+  report per-environment verdict counts and throughput.
 
 Usage::
 
@@ -26,6 +30,7 @@ Usage::
     python -m repro.cli schedule news.cmif
     python -m repro.cli play news.cmif --environment personal-system
     python -m repro.cli ingest corpus/ --generate 24
+    python -m repro.cli serve catalog/ --generate 12 --sessions 4 --replays 8
 """
 
 from __future__ import annotations
@@ -168,8 +173,62 @@ def cmd_negotiate(args: argparse.Namespace) -> int:
     document = load_document(args.document)
     environment = ENVIRONMENTS[args.environment]
     result = negotiate(document, environment)
-    print(result.summary())
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.summary())
     return 0 if result.ok else 1
+
+
+def _parse_environments(raw: str) -> list[SystemEnvironment]:
+    """The ``serve --environments`` grammar: ``all`` or a name CSV."""
+    if raw == "all":
+        return list(PROFILES)
+    environments = []
+    for name in raw.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in ENVIRONMENTS:
+            raise CmifError(f"unknown environment {name!r}; expected one "
+                            f"of {sorted(ENVIRONMENTS)} or 'all'")
+        environments.append(ENVIRONMENTS[name])
+    if not environments:
+        raise CmifError("--environments selected no environment profiles")
+    return environments
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.corpus import generate_serving_corpus
+    from repro.serving import SessionEngine
+    directory = Path(args.directory)
+    if directory.exists() and not directory.is_dir():
+        print(f"error: {directory} exists and is not a directory",
+              file=sys.stderr)
+        return 2
+    if args.generate:
+        written = generate_serving_corpus(directory,
+                                          documents=args.generate,
+                                          events=args.events,
+                                          seed=args.seed)
+        print(f"generated {len(written)} package(s) in {directory}")
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory (use --generate N "
+              f"to create a synthetic serving corpus)", file=sys.stderr)
+        return 2
+    paths = sorted(directory.glob(args.pattern))
+    if not paths:
+        print(f"error: no {args.pattern} files in {directory}",
+              file=sys.stderr)
+        return 2
+    documents = [load_document(str(path)) for path in paths]
+    environments = _parse_environments(args.environments)
+    engine = SessionEngine(engine=args.engine, seed=args.seed)
+    report = engine.serve(documents, environments,
+                          sessions_per_pair=args.sessions,
+                          replays=args.replays)
+    print(report.describe())
+    return 0 if report.admitted else 1
 
 
 def cmd_pack(args: argparse.Namespace) -> int:
@@ -387,7 +446,41 @@ def build_parser() -> argparse.ArgumentParser:
     negotiate_cmd.add_argument("--environment",
                                choices=sorted(ENVIRONMENTS),
                                default="workstation")
+    negotiate_cmd.add_argument("--json", action="store_true",
+                               help="emit the machine-readable verdict "
+                                    "and findings (for session engines "
+                                    "and scripts)")
     negotiate_cmd.set_defaults(handler=cmd_negotiate)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-tenant session engine over a "
+                      "corpus directory")
+    serve.add_argument("directory")
+    serve.add_argument("--pattern", default="*.cmif*",
+                       help="glob for corpus files (default *.cmif*, "
+                            "matching text documents and packages)")
+    serve.add_argument("--environments", default="all", metavar="CSV",
+                       help="environment profiles to admit against: "
+                            "'all' (default) or a comma-separated list "
+                            "of profile names")
+    serve.add_argument("--sessions", type=int, default=1,
+                       help="tenant sessions per document x environment "
+                            "pair (default 1)")
+    serve.add_argument("--replays", type=int, default=1,
+                       help="replay rounds round-robined across all "
+                            "admitted sessions (default 1)")
+    serve.add_argument("--engine", choices=("graph", "reference"),
+                       default="graph",
+                       help="cold-path solver for cache misses")
+    serve.add_argument("--generate", type=int, metavar="N",
+                       help="first write N synthetic serving packages "
+                            "into the directory")
+    serve.add_argument("--events", type=int, default=24,
+                       help="events per generated document "
+                            "(with --generate)")
+    serve.add_argument("--seed", type=int, default=1991,
+                       help="generator and jitter seed")
+    serve.set_defaults(handler=cmd_serve)
 
     pack_cmd = commands.add_parser("pack", help="package for transport")
     pack_cmd.add_argument("document")

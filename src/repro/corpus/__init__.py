@@ -3,7 +3,9 @@
 from repro.corpus.news import (NewsCorpus, add_generic_story,
                                add_paintings_story, declare_news_channels,
                                make_news_document, make_paintings_fragment)
-from repro.corpus.generate import (make_deep_document, make_flat_document,
+from repro.corpus.generate import (generate_serving_corpus,
+                                   make_deep_document, make_flat_document,
+                                   make_media_document,
                                    make_random_document)
 from repro.corpus.ingest import (CORPUS_SHAPES, INGEST_STAGES,
                                  IngestFailure, IngestReport,
@@ -14,7 +16,8 @@ __all__ = [
     "CORPUS_SHAPES", "INGEST_STAGES", "IngestFailure", "IngestReport",
     "IngestedDocument", "NewsCorpus", "add_generic_story",
     "add_paintings_story", "corpus_paths", "declare_news_channels",
-    "generate_corpus", "ingest_corpus", "make_deep_document",
-    "make_flat_document", "make_news_document", "make_paintings_fragment",
+    "generate_corpus", "generate_serving_corpus", "ingest_corpus",
+    "make_deep_document", "make_flat_document", "make_media_document",
+    "make_news_document", "make_paintings_fragment",
     "make_random_document",
 ]

@@ -10,7 +10,11 @@ events with controlled shape:
   tree walks and default-arc chains;
 * :func:`make_random_document` — seeded random trees with random explicit
   arcs between sibling leaves: the hypothesis-style workload for solver
-  robustness.
+  robustness;
+* :func:`make_media_document` — seeded random trees of *external* nodes
+  with full media descriptors (resolutions, colour depths, rates,
+  stream bandwidths): the serving-layer workload, where negotiation and
+  constraint filtering have real requirements to chew on.
 """
 
 from __future__ import annotations
@@ -18,6 +22,8 @@ from __future__ import annotations
 import random
 
 from repro.core.builder import DocumentBuilder
+from repro.core.channels import Medium
+from repro.core.descriptors import DataDescriptor
 from repro.core.document import CmifDocument
 from repro.core.timebase import MediaTime
 
@@ -144,3 +150,150 @@ def _add_random_arcs(document: CmifDocument, rng: random.Random,
                 strictness=Strictness.MAY,
                 min_delay=MediaTime.ms(0.0),
                 max_delay=MediaTime.ms(rng.uniform(5000.0, 20000.0))))
+
+
+# -- serving-corpus generation (documents with real media demands) --------
+
+#: Era-plausible capture formats the media generator draws from.
+_VIDEO_RESOLUTIONS = ((320, 240), (640, 480), (720, 576), (1280, 1024))
+_IMAGE_RESOLUTIONS = ((320, 240), (640, 480), (800, 600), (1280, 960))
+_FRAME_RATES = (12.5, 15.0, 25.0, 30.0)
+_SAMPLE_RATES = (11025.0, 22050.0, 32000.0, 44100.0)
+_COLOR_DEPTHS = (8, 24)
+
+
+def _media_descriptor(rng: random.Random, descriptor_id: str,
+                      medium: Medium, duration_ms: float
+                      ) -> DataDescriptor:
+    """A captured-style descriptor with realistic demand attributes.
+
+    Stream bandwidths follow the same shape the capture substrate uses
+    (pixels x depth x rate for video, rate x width for audio), with a
+    compression divisor so documents spread across the era profiles'
+    budgets instead of all saturating them.
+    """
+    attributes: dict = {"duration": MediaTime.ms(duration_ms),
+                        "keywords": ()}
+    if medium is Medium.VIDEO:
+        width, height = rng.choice(_VIDEO_RESOLUTIONS)
+        rate = rng.choice(_FRAME_RATES)
+        depth = rng.choice(_COLOR_DEPTHS)
+        compression = rng.choice((25, 50, 100))
+        attributes.update({
+            "format": "video/raw-rgb",
+            "resolution": (width, height),
+            "frame-rate": rate,
+            "frames": int(round(duration_ms / 1000.0 * rate)),
+            "color-depth": depth,
+            "resources": {"bandwidth-bps": int(
+                rate * width * height * depth / compression)},
+        })
+    elif medium is Medium.AUDIO:
+        rate = rng.choice(_SAMPLE_RATES)
+        channels = rng.choice((1, 1, 2))
+        attributes.update({
+            "format": "audio/pcm-float32",
+            "sample-rate": rate,
+            "samples": int(round(duration_ms / 1000.0 * rate)),
+            "channels": channels,
+            "resources": {"bandwidth-bps": int(rate * 16 * channels)},
+        })
+    elif medium is Medium.IMAGE:
+        width, height = rng.choice(_IMAGE_RESOLUTIONS)
+        attributes.update({
+            "format": "image/raw-rgb",
+            "resolution": (width, height),
+            "color-depth": rng.choice(_COLOR_DEPTHS),
+            "resources": {"memory-bytes": width * height * 3},
+        })
+    else:
+        attributes.update({
+            "format": "text/plain",
+            "language": "en",
+            "characters": rng.randrange(40, 400),
+            "resources": {"bandwidth-bps": rng.randrange(320, 3200)},
+        })
+    return DataDescriptor(descriptor_id=descriptor_id, medium=medium,
+                          block_id=None, attributes=attributes)
+
+
+def make_media_document(seed: int, *, events: int = 24,
+                        rich: bool | None = None) -> CmifDocument:
+    """A seeded random document whose leaves carry media descriptors.
+
+    ``rich`` documents mix all four media (audio/video material rejects
+    on audio-less terminals, filters on modest systems); lean ones stay
+    image/text and play almost anywhere.  When None, the seed decides —
+    a corpus of consecutive seeds covers every negotiation verdict on
+    the era profiles.  Arcs are added with the same generator the
+    random corpus uses, so schedules have audit material.
+    """
+    rng = random.Random(seed)
+    if rich is None:
+        rich = rng.random() < 0.7
+    media = (list(Medium) if rich
+             else [Medium.IMAGE, Medium.TEXT])
+    media = [medium for medium in media if medium is not Medium.PROGRAM]
+    builder = DocumentBuilder(f"media-{seed}", root_kind="seq")
+    channel_names: dict[Medium, str] = {}
+    for medium in media:
+        name = f"ch-{medium.value}"
+        builder.channel(name, medium.value)
+        channel_names[medium] = name
+    remaining = events
+    serial = 0
+
+    def grow(level: int) -> None:
+        nonlocal remaining, serial
+        while remaining > 0:
+            choice = rng.random()
+            if choice < 0.55 or level >= 4:
+                remaining -= 1
+                medium = rng.choice(media)
+                duration_ms = rng.uniform(400.0, 6000.0)
+                descriptor = _media_descriptor(
+                    rng, f"d{serial}", medium, duration_ms)
+                builder.descriptor(descriptor.descriptor_id, descriptor)
+                builder.ext(f"e{serial}",
+                            file=descriptor.descriptor_id,
+                            channel=channel_names[medium])
+                serial += 1
+            elif choice < 0.8:
+                with builder.seq(None):
+                    grow(level + 1)
+            else:
+                with builder.par(None):
+                    grow(level + 1)
+            if rng.random() < 0.3 and level > 0:
+                return
+
+    grow(0)
+    document = builder.build(validate=False)
+    _add_random_arcs(document, rng, arc_fraction=0.2)
+    return document
+
+
+def generate_serving_corpus(directory, *, documents: int = 12,
+                            events: int = 24, seed: int = 1991
+                            ) -> list:
+    """Write a mixed serving corpus of transport *packages*.
+
+    Descriptors only travel in packages (the bare text form is
+    structure-only), and the serving engine negotiates on descriptors —
+    so unlike :func:`generate_corpus`'s text files, this corpus is
+    written with :func:`repro.transport.package.pack`.  Returns the
+    written paths in serve order.
+    """
+    from pathlib import Path
+
+    from repro.transport.package import pack
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for index in range(documents):
+        document = make_media_document(seed + index, events=events)
+        path = directory / f"{index:03d}-media.cmifpkg"
+        path.write_text(pack(document), encoding="utf-8")
+        written.append(path)
+    return written

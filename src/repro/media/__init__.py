@@ -9,7 +9,8 @@ pixels or samples.
 """
 
 from repro.media.audio import (clip_samples, downsample, make_audio_block,
-                               rms_level, synthesize_samples)
+                               merge_channels, rms_level,
+                               synthesize_samples)
 from repro.media.image import (crop_image, image_stats, make_image_block,
                                reduce_color_depth, scale_image,
                                synthesize_image, to_monochrome)
@@ -23,6 +24,7 @@ __all__ = [
     "clip_samples", "crop_image", "downsample", "generate_paragraph",
     "generate_sentence", "image_stats", "make_audio_block",
     "make_image_block", "make_text_block", "make_video_block",
+    "merge_channels",
     "reading_duration_ms", "reduce_color_depth", "rms_level",
     "scale_frames", "scale_image", "slice_frames", "subsample_frame_rate",
     "synthesize_frames", "synthesize_image", "synthesize_samples",

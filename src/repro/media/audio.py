@@ -9,6 +9,8 @@ descriptors carry the rates and durations scheduling needs.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.channels import Medium
@@ -105,12 +107,37 @@ def downsample(samples: np.ndarray, sample_rate: float,
         raise MediaError(f"target rate must be positive, got {target_rate}")
     if target_rate >= sample_rate:
         return samples, sample_rate
-    factor = int(round(sample_rate / target_rate))
+    # Round the decimation factor *up*: the achieved rate must never
+    # exceed the target, or a playable-with-filtering verdict would be
+    # dishonest (the filtered document would still over-demand).
+    factor = math.ceil(sample_rate / target_rate - 1e-9)
     usable = (len(samples) // factor) * factor
     if usable == 0:
         return samples[:1], sample_rate / factor
     windows = samples[:usable].reshape(-1, factor)
     return windows.mean(axis=1).astype(np.float32), sample_rate / factor
+
+
+def merge_channels(samples: np.ndarray,
+                   target_channels: int) -> np.ndarray:
+    """Merge a multi-channel layout down to ``target_channels`` lanes.
+
+    A constraint-filter action (stereo material on a mono device).
+    Channels are averaged in contiguous groups; the mono result is a
+    1-D array, matching the synthesizer's native layout.
+    """
+    if target_channels <= 0:
+        raise MediaError(f"target channel count must be positive, "
+                         f"got {target_channels}")
+    if samples.ndim == 1 or samples.shape[1] <= target_channels:
+        return samples
+    channels = samples.shape[1]
+    if target_channels == 1:
+        return samples.mean(axis=1).astype(samples.dtype)
+    bounds = np.linspace(0, channels, target_channels + 1).astype(int)
+    lanes = [samples[:, start:stop].mean(axis=1)
+             for start, stop in zip(bounds, bounds[1:])]
+    return np.stack(lanes, axis=1).astype(samples.dtype)
 
 
 def rms_level(samples: np.ndarray) -> float:

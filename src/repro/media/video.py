@@ -14,6 +14,8 @@ shape changes detectably under each transformation.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.channels import Medium
@@ -100,7 +102,9 @@ def subsample_frame_rate(frames: np.ndarray, frame_rate: float,
         raise MediaError(f"target rate must be positive, got {target_rate}")
     if target_rate >= frame_rate:
         return frames, frame_rate
-    step = int(round(frame_rate / target_rate))
+    # Round the step *up* so the achieved rate never exceeds the target
+    # (the honesty contract behind playable-with-filtering verdicts).
+    step = math.ceil(frame_rate / target_rate - 1e-9)
     return frames[::step], frame_rate / step
 
 

@@ -20,9 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.document import CmifDocument
+from repro.pipeline.adaptation import (AdaptationProgram, adapt_document,
+                                       adapted_program_for,
+                                       compile_adaptation)
 from repro.pipeline.capture import Captured, CaptureSession
 from repro.pipeline.filters import (ConstraintFilter, FilterAction,
-                                    FilterKind, FilterPlan, apply_action)
+                                    FilterKind, FilterPlan,
+                                    adapt_attributes, apply_action)
 from repro.pipeline.mapping import StructureMapper
 from repro.pipeline.navigation import (Jump, Link, NavigationSession,
                                        collect_links)
@@ -75,13 +79,15 @@ def run_pipeline(document: CmifDocument,
 
 
 __all__ = [
-    "ArcAudit", "BatchPlayer", "Captured", "CaptureSession",
-    "CompactReport", "ConstraintFilter", "FilterAction", "FilterKind",
-    "FilterPlan", "Jump", "Link", "NavigationSession", "PipelineRun",
-    "PlaybackProgram", "PlaybackReport", "PlayedEvent", "Player",
-    "PresentationMap", "PresentationMapper", "ProgramCache", "Region",
-    "SpeakerAssignment", "StructureMapper", "SweepCell", "collect_links",
-    "VIRTUAL_HEIGHT", "VIRTUAL_WIDTH", "apply_action", "compile_program",
+    "AdaptationProgram", "ArcAudit", "BatchPlayer", "Captured",
+    "CaptureSession", "CompactReport", "ConstraintFilter", "FilterAction",
+    "FilterKind", "FilterPlan", "Jump", "Link", "NavigationSession",
+    "PipelineRun", "PlaybackProgram", "PlaybackReport", "PlayedEvent",
+    "Player", "PresentationMap", "PresentationMapper", "ProgramCache",
+    "Region", "SpeakerAssignment", "StructureMapper", "SweepCell",
+    "collect_links", "VIRTUAL_HEIGHT", "VIRTUAL_WIDTH",
+    "adapt_attributes", "adapt_document", "adapted_program_for",
+    "apply_action", "compile_adaptation", "compile_program",
     "render_arc_table", "render_embedded", "render_screen",
     "render_summary", "render_sweep", "render_timeline", "render_tree",
     "run_pipeline",

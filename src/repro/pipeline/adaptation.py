@@ -1,0 +1,257 @@
+"""Compiled adaptation programs: filtering lowered for the serving path.
+
+A :class:`~repro.pipeline.filters.FilterPlan` is authored-side output:
+a list of declarative action objects, re-derived per plan call.  The
+serving engine admits many sessions of the same document against the
+same environment, and paying plan derivation, descriptor adaptation and
+playback-program compilation per *session* is the object-at-a-time cost
+this PR removes — the same lowering the schedule (PR 4) and replay
+(PR 3) paths already received.
+
+:func:`compile_adaptation` lowers a plan once into an
+:class:`AdaptationProgram`: interned descriptor slots, a parallel
+(slot, action) op table deduplicated per descriptor, and precomputed
+adapted descriptors.  :func:`adapted_program_for` composes it with the shared
+base :class:`~repro.pipeline.program.PlaybackProgram` into an
+environment-specialized program, cached in the
+:class:`~repro.pipeline.program.ProgramCache` under (schedule identity,
+revision, environment fingerprint).  Per-descriptor filtering never
+changes event timing — durations are authored attributes, untouched by
+scale/colour/rate/channel mappings — so the specialized program shares
+every compiled array with the base, and adapted playback is pinned
+bit-identical to interpretively filtering the document and playing the
+result (``tests/test_adaptation.py``).
+
+:meth:`AdaptationProgram.adapt_document` is that interpretive
+reference: a copied document whose descriptors carry the post-filter
+attributes (the same :func:`~repro.pipeline.filters.adapt_attributes`
+update the payload executor applies), which re-negotiates as
+``playable`` — the honesty contract behind ``playable-with-filtering``
+verdicts.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.descriptors import DataDescriptor
+from repro.core.document import CmifDocument, CompiledDocument
+from repro.core.errors import DeviceConstraintError, MediaError
+from repro.core.nodes import NodeKind
+from repro.core.tree import iter_preorder
+from repro.pipeline.filters import (ConstraintFilter, FilterAction,
+                                    FilterKind, FilterPlan,
+                                    adapt_attributes, apply_action)
+from repro.pipeline.program import (PlaybackProgram, ProgramCache,
+                                    compile_program)
+from repro.timing.schedule import Schedule
+from repro.transport.environments import SystemEnvironment
+from repro.transport.requirements import DocumentRequirements
+
+
+@dataclass(frozen=True)
+class AdaptationProgram:
+    """One document's filtering for one environment, in compiled form.
+
+    The op table is two parallel tuples: ``op_slot[i]`` is the interned
+    descriptor slot the ``i``-th op applies to, ``actions[i]`` the
+    deduplicated filter action itself; ``originals``/``overrides`` hold
+    the per-slot descriptor before and after adaptation, precomputed at
+    compile time so per-session work is a tuple lookup.
+    """
+
+    environment: str
+    fingerprint: tuple
+    revision: int
+    descriptor_ids: tuple[str, ...]
+    op_slot: tuple[int, ...]
+    actions: tuple[FilterAction, ...]
+    originals: tuple[DataDescriptor, ...]
+    overrides: tuple[DataDescriptor, ...]
+    dropped_channels: tuple[str, ...]
+    projected_bandwidth_bps: int
+
+    @property
+    def identity(self) -> bool:
+        """True when the environment needs no adaptation at all."""
+        return not self.op_slot and not self.dropped_channels
+
+    def slot_of(self, descriptor_id: str) -> int | None:
+        try:
+            return self.descriptor_ids.index(descriptor_id)
+        except ValueError:
+            return None
+
+    def override_for(self, descriptor_id: str) -> DataDescriptor | None:
+        """The adapted descriptor, or None when unchanged."""
+        slot = self.slot_of(descriptor_id)
+        return None if slot is None else self.overrides[slot]
+
+    def actions_for(self, descriptor_id: str) -> tuple[FilterAction, ...]:
+        """The compiled op sequence of one descriptor, as actions."""
+        slot = self.slot_of(descriptor_id)
+        if slot is None:
+            return ()
+        return tuple(action for index, action
+                     in zip(self.op_slot, self.actions)
+                     if index == slot)
+
+    def transform_payload(self, descriptor_id: str, payload: Any
+                          ) -> tuple[Any, DataDescriptor]:
+        """Run one descriptor's op chain on concrete payload data.
+
+        Returns the transformed payload and the adapted descriptor.
+        Only descriptors with compiled ops have slots here; asking for
+        any other id raises :class:`~repro.core.errors.MediaError`
+        (the program does not hold unadapted descriptors).
+        """
+        slot = self.slot_of(descriptor_id)
+        if slot is None:
+            raise MediaError(
+                f"descriptor {descriptor_id!r} has no ops in the "
+                f"{self.environment!r} adaptation program")
+        descriptor = self.originals[slot]
+        for index, action in zip(self.op_slot, self.actions):
+            if index == slot:
+                payload, descriptor = apply_action(action, payload,
+                                                   descriptor)
+        return payload, descriptor
+
+    def adapt_document(self, document: CmifDocument) -> CmifDocument:
+        """The interpretive reference: a copy with adapted descriptors.
+
+        This is "filtering then playing"'s first half — the compiled
+        serving path must stay bit-identical to playing this document.
+        Channel drops change document structure and timing; they only
+        arise for ``unplayable`` verdicts, which the serving engine
+        rejects instead of adapting, so adapting such a plan is an
+        error rather than a silent partial result.
+        """
+        if self.dropped_channels:
+            raise DeviceConstraintError(
+                f"cannot adapt for {self.environment!r}: channels "
+                f"{sorted(self.dropped_channels)} carry unsupported "
+                f"media (the document is unplayable there, not "
+                f"filterable)")
+        if self.identity:
+            return document
+        clone = copy.deepcopy(document)
+        styles = document.styles_or_none()
+        for node in iter_preorder(document.root):
+            if node.kind is not NodeKind.EXT:
+                continue
+            file_id = node.effective("file", styles=styles)
+            if file_id is None:
+                continue
+            descriptor = document.resolve_descriptor(file_id)
+            if descriptor is None:
+                continue
+            override = self.override_for(descriptor.descriptor_id)
+            if override is not None:
+                clone.register_descriptor(file_id, override)
+        return clone
+
+
+def compile_adaptation(plan: FilterPlan, compiled: CompiledDocument,
+                       environment: SystemEnvironment
+                       ) -> AdaptationProgram:
+    """Lower a filter plan into an :class:`AdaptationProgram`.
+
+    Actions are grouped per descriptor (a descriptor shared by several
+    channels gets one op chain — applying identical transforms twice
+    would falsify the attributes) and the adapted descriptors are
+    precomputed through :func:`~repro.pipeline.filters.adapt_attributes`.
+    """
+    by_id: dict[str, DataDescriptor] = {}
+    for event in compiled.events:
+        if event.descriptor is not None:
+            by_id.setdefault(event.descriptor.descriptor_id,
+                             event.descriptor)
+    slots: dict[str, int] = {}
+    seen_kinds: set[tuple[str, FilterKind]] = set()
+    op_slot: list[int] = []
+    actions: list[FilterAction] = []
+    for action in plan.actions:
+        if action.kind is FilterKind.DROP_CHANNEL \
+                or action.descriptor_id is None:
+            continue
+        dedup = (action.descriptor_id, action.kind)
+        if dedup in seen_kinds:
+            continue
+        seen_kinds.add(dedup)
+        op_slot.append(slots.setdefault(action.descriptor_id,
+                                        len(slots)))
+        actions.append(action)
+    originals: list[DataDescriptor] = []
+    overrides: list[DataDescriptor] = []
+    for descriptor_id in slots:
+        descriptor = by_id[descriptor_id]
+        attributes = dict(descriptor.attributes)
+        for slot, action in zip(op_slot, actions):
+            if slot == slots[descriptor_id]:
+                attributes = adapt_attributes(action, attributes)
+        originals.append(descriptor)
+        overrides.append(DataDescriptor(
+            descriptor_id=descriptor.descriptor_id,
+            medium=descriptor.medium,
+            block_id=descriptor.block_id,
+            attributes=attributes))
+    projected = (plan.environment_plan.projected_bandwidth_bps
+                 if plan.environment_plan is not None else 0)
+    return AdaptationProgram(
+        environment=environment.name,
+        fingerprint=environment.fingerprint(),
+        revision=compiled.document.revision,
+        descriptor_ids=tuple(slots),
+        op_slot=tuple(op_slot),
+        actions=tuple(actions),
+        originals=tuple(originals),
+        overrides=tuple(overrides),
+        dropped_channels=tuple(sorted(plan.dropped_channels)),
+        projected_bandwidth_bps=projected)
+
+
+def adapt_document(document: CmifDocument, plan: FilterPlan,
+                   environment: SystemEnvironment) -> CmifDocument:
+    """Interpretively apply a filter plan to a whole document.
+
+    Convenience over :func:`compile_adaptation` +
+    :meth:`AdaptationProgram.adapt_document` — the reference path the
+    equivalence tests and the serving bench's naive baseline use.
+    """
+    return compile_adaptation(plan, document.compile(),
+                              environment).adapt_document(document)
+
+
+def adapted_program_for(schedule: Schedule,
+                        environment: SystemEnvironment, *,
+                        program_cache: ProgramCache | None = None,
+                        requirements: DocumentRequirements | None = None,
+                        plan: FilterPlan | None = None
+                        ) -> PlaybackProgram:
+    """The environment-specialized playback program of a schedule.
+
+    On a cache hit this is one dictionary probe.  On a miss: the shared
+    base program is compiled (or fetched) under the environment-free
+    key, the filter plan is derived (reusing ``requirements`` when the
+    caller holds a cached profile), lowered, and composed — then cached
+    under (schedule identity, revision, environment fingerprint).  A
+    plan with no ops composes to the base program itself, so playable
+    documents cost nothing extra per environment.
+    """
+    if program_cache is not None:
+        cached = program_cache.get(schedule, environment=environment)
+        if cached is not None:
+            return cached
+    base = compile_program(schedule, cache=program_cache)
+    if plan is None:
+        plan = ConstraintFilter(environment).plan(
+            schedule.compiled, requirements=requirements)
+    adaptation = compile_adaptation(plan, schedule.compiled, environment)
+    program = base if adaptation.identity \
+        else base.specialized(adaptation)
+    if program_cache is not None:
+        program_cache.put(schedule, program, environment=environment)
+    return program

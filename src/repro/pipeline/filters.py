@@ -14,11 +14,24 @@ produces a :class:`FilterPlan` of declarative :class:`FilterAction`
 records from descriptors alone, and a separate executor
 (:func:`apply_action`) realizes each action on payload data using the
 :mod:`repro.media` transformations.
+
+Action parameters come from the shared planning math in
+:mod:`repro.transport.requirements` — the same projection negotiation
+uses to decide whether a document is ``playable-with-filtering`` — so a
+filterable verdict is a promise this stage keeps: beyond the per-device
+cuts, the plan applies *bandwidth pressure* (deeper rate subsampling by
+a common factor) whenever the summed stream bandwidth still exceeds the
+environment's budget.  :func:`adapt_attributes` is the attribute-only
+form of each action; :func:`apply_action` applies the identical
+attribute update next to the payload transformation, so a document
+adapted without payloads and a payload filtered with them can never
+disagree about the resulting format.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -26,13 +39,20 @@ import numpy as np
 
 from repro.core.channels import Medium
 from repro.core.descriptors import DataDescriptor
-from repro.core.document import CmifDocument, CompiledDocument
+from repro.core.document import CompiledDocument
 from repro.core.errors import DeviceConstraintError, MediaError
-from repro.media.audio import downsample
+from repro.media.audio import downsample, merge_channels
 from repro.media.image import reduce_color_depth, scale_image, to_monochrome
 from repro.media.video import scale_frames, subsample_frame_rate
 from repro.timing.conflicts import ConflictReport, detect_device_conflicts
 from repro.transport.environments import SystemEnvironment
+from repro.transport.requirements import (DocumentRequirements,
+                                          EnvironmentPlan,
+                                          PlannedAdaptation,
+                                          planned_frame_rate,
+                                          planned_sample_rate,
+                                          quantized_rate,
+                                          requirements_for)
 
 
 class FilterKind(enum.Enum):
@@ -43,6 +63,7 @@ class FilterKind(enum.Enum):
     SCALE_RESOLUTION = "scale-resolution"
     SUBSAMPLE_FRAMES = "subsample-frames"
     DOWNSAMPLE_AUDIO = "downsample-audio"
+    MERGE_CHANNELS = "merge-channels"
     DROP_CHANNEL = "drop-channel"
 
 
@@ -63,11 +84,18 @@ class FilterAction:
 
 @dataclass
 class FilterPlan:
-    """The stage-4 output: actions plus device conflict reports."""
+    """The stage-4 output: actions plus device conflict reports.
+
+    ``environment_plan`` carries the per-descriptor projection the
+    actions were derived from (including the projected post-adaptation
+    bandwidth) — the adaptation compiler and the serving engine read
+    it; interactive callers can ignore it.
+    """
 
     environment: str
     actions: list[FilterAction] = field(default_factory=list)
     conflicts: list[ConflictReport] = field(default_factory=list)
+    environment_plan: EnvironmentPlan | None = None
 
     @property
     def dropped_channels(self) -> set[str]:
@@ -96,10 +124,22 @@ class ConstraintFilter:
     def __init__(self, environment: SystemEnvironment) -> None:
         self.environment = environment
 
-    def plan(self, compiled: CompiledDocument) -> FilterPlan:
-        """Compute the constraint mapping for a compiled document."""
-        plan = FilterPlan(environment=self.environment.name)
+    def plan(self, compiled: CompiledDocument, *,
+             requirements: DocumentRequirements | None = None
+             ) -> FilterPlan:
+        """Compute the constraint mapping for a compiled document.
+
+        ``requirements`` reuses a cached profile (the serving path);
+        without one, the profile is derived here.  Either way, the
+        per-descriptor adaptation projection drives every action's
+        parameters, so the plan and the negotiation verdict agree.
+        """
         document = compiled.document
+        if requirements is None:
+            requirements = requirements_for(document, compiled=compiled)
+        environment_plan = requirements.plan_for(self.environment)
+        plan = FilterPlan(environment=self.environment.name,
+                          environment_plan=environment_plan)
         seen: set[tuple[str, str]] = set()
         for event in compiled.events:
             key = (event.channel,
@@ -108,8 +148,8 @@ class ConstraintFilter:
             if key in seen:
                 continue
             seen.add(key)
-            self._plan_event(plan, document, event.channel, event.medium,
-                             event.descriptor)
+            self._plan_event(plan, environment_plan, event.channel,
+                             event.medium, event.descriptor)
         latencies = {
             name: self.environment.latency_for(
                 document.channels.lookup(name).medium)
@@ -119,8 +159,9 @@ class ConstraintFilter:
 
     # -- per-event planning --------------------------------------------------
 
-    def _plan_event(self, plan: FilterPlan, document: CmifDocument,
-                    channel: str, medium: Medium,
+    def _plan_event(self, plan: FilterPlan,
+                    environment_plan: EnvironmentPlan, channel: str,
+                    medium: Medium,
                     descriptor: DataDescriptor | None) -> None:
         environment = self.environment
         if not environment.supports(medium):
@@ -133,73 +174,194 @@ class ConstraintFilter:
             return
         if descriptor is None:
             return
-        if medium in (Medium.IMAGE, Medium.VIDEO):
-            self._plan_visual(plan, channel, descriptor)
-        if medium is Medium.VIDEO:
-            self._plan_frame_rate(plan, channel, descriptor)
-        if medium is Medium.AUDIO:
-            self._plan_audio(plan, channel, descriptor)
+        adaptation = environment_plan.adaptation_for(
+            descriptor.descriptor_id)
+        if adaptation is None or not adaptation.changed:
+            return
+        self._plan_color(plan, channel, descriptor, adaptation)
+        self._plan_resolution(plan, channel, descriptor, adaptation)
+        self._plan_frame_rate(plan, channel, descriptor, adaptation)
+        self._plan_audio(plan, channel, descriptor, adaptation)
 
-    def _plan_visual(self, plan: FilterPlan, channel: str,
-                     descriptor: DataDescriptor) -> None:
+    def _plan_color(self, plan: FilterPlan, channel: str,
+                    descriptor: DataDescriptor,
+                    adaptation: PlannedAdaptation) -> None:
+        if adaptation.color_depth is None:
+            return
         environment = self.environment
-        depth = int(descriptor.get("color-depth", 0))
-        if depth > environment.color_depth:
-            if environment.color_depth <= 1:
-                plan.actions.append(FilterAction(
-                    kind=FilterKind.TO_MONOCHROME, channel=channel,
-                    descriptor_id=descriptor.descriptor_id,
-                    parameters={},
-                    reason=f"{depth}-bit colour on a monochrome display"))
-            else:
-                bits = max(1, environment.color_depth // 3)
-                plan.actions.append(FilterAction(
-                    kind=FilterKind.REDUCE_COLOR, channel=channel,
-                    descriptor_id=descriptor.descriptor_id,
-                    parameters={"bits_per_channel": bits},
-                    reason=f"{depth}-bit colour exceeds the display's "
-                           f"{environment.color_depth}-bit depth"))
-        resolution = descriptor.get("resolution")
-        if resolution:
-            width, height = int(resolution[0]), int(resolution[1])
-            if width > environment.screen_width \
-                    or height > environment.screen_height:
-                scale = min(environment.screen_width / width,
-                            environment.screen_height / height)
-                plan.actions.append(FilterAction(
-                    kind=FilterKind.SCALE_RESOLUTION, channel=channel,
-                    descriptor_id=descriptor.descriptor_id,
-                    parameters={
-                        "target_width": max(1, int(width * scale)),
-                        "target_height": max(1, int(height * scale)),
-                    },
-                    reason=f"{width}x{height} exceeds the "
-                           f"{environment.screen_width}x"
-                           f"{environment.screen_height} screen"))
+        depth = adaptation.demand.color_depth
+        if environment.color_depth <= 1:
+            plan.actions.append(FilterAction(
+                kind=FilterKind.TO_MONOCHROME, channel=channel,
+                descriptor_id=descriptor.descriptor_id,
+                parameters={},
+                reason=f"{depth}-bit colour on a monochrome display"))
+        else:
+            plan.actions.append(FilterAction(
+                kind=FilterKind.REDUCE_COLOR, channel=channel,
+                descriptor_id=descriptor.descriptor_id,
+                parameters={
+                    "bits_per_channel": adaptation.color_depth // 3},
+                reason=f"{depth}-bit colour exceeds the display's "
+                       f"{environment.color_depth}-bit depth"))
+
+    def _plan_resolution(self, plan: FilterPlan, channel: str,
+                         descriptor: DataDescriptor,
+                         adaptation: PlannedAdaptation) -> None:
+        if adaptation.resolution is None:
+            return
+        environment = self.environment
+        width, height = adaptation.demand.resolution
+        plan.actions.append(FilterAction(
+            kind=FilterKind.SCALE_RESOLUTION, channel=channel,
+            descriptor_id=descriptor.descriptor_id,
+            parameters={
+                "target_width": adaptation.resolution[0],
+                "target_height": adaptation.resolution[1],
+            },
+            reason=f"{width}x{height} exceeds the "
+                   f"{environment.screen_width}x"
+                   f"{environment.screen_height} screen"))
 
     def _plan_frame_rate(self, plan: FilterPlan, channel: str,
-                         descriptor: DataDescriptor) -> None:
+                         descriptor: DataDescriptor,
+                         adaptation: PlannedAdaptation) -> None:
+        if adaptation.frame_rate is None:
+            return
         environment = self.environment
-        rate = float(descriptor.get("frame-rate", 0.0))
-        if rate > environment.max_frame_rate > 0:
-            plan.actions.append(FilterAction(
-                kind=FilterKind.SUBSAMPLE_FRAMES, channel=channel,
-                descriptor_id=descriptor.descriptor_id,
-                parameters={"target_rate": environment.max_frame_rate},
-                reason=f"{rate:g}fps exceeds the device's "
-                       f"{environment.max_frame_rate:g}fps"))
+        rate = adaptation.demand.frame_rate
+        device_rate = planned_frame_rate(rate, environment)
+        if device_rate is not None \
+                and adaptation.frame_rate >= device_rate:
+            reason = (f"{rate:g}fps exceeds the device's "
+                      f"{environment.max_frame_rate:g}fps")
+        else:
+            reason = (f"{rate:g}fps subsampled to fit the "
+                      f"{environment.bandwidth_bps}bps stream budget")
+        plan.actions.append(FilterAction(
+            kind=FilterKind.SUBSAMPLE_FRAMES, channel=channel,
+            descriptor_id=descriptor.descriptor_id,
+            parameters={"target_rate": adaptation.frame_rate},
+            reason=reason))
 
     def _plan_audio(self, plan: FilterPlan, channel: str,
-                    descriptor: DataDescriptor) -> None:
+                    descriptor: DataDescriptor,
+                    adaptation: PlannedAdaptation) -> None:
         environment = self.environment
-        rate = float(descriptor.get("sample-rate", 0.0))
-        if rate > environment.max_sample_rate > 0:
+        if adaptation.sample_rate is not None:
+            rate = adaptation.demand.sample_rate
+            device_rate = planned_sample_rate(rate, environment)
+            if device_rate is not None \
+                    and adaptation.sample_rate >= device_rate:
+                reason = (f"{rate:g}Hz exceeds the device's "
+                          f"{environment.max_sample_rate:g}Hz")
+            else:
+                reason = (f"{rate:g}Hz downsampled to fit the "
+                          f"{environment.bandwidth_bps}bps stream budget")
             plan.actions.append(FilterAction(
                 kind=FilterKind.DOWNSAMPLE_AUDIO, channel=channel,
                 descriptor_id=descriptor.descriptor_id,
-                parameters={"target_rate": environment.max_sample_rate},
-                reason=f"{rate:g}Hz exceeds the device's "
-                       f"{environment.max_sample_rate:g}Hz"))
+                parameters={"target_rate": adaptation.sample_rate},
+                reason=reason))
+        if adaptation.audio_channels is not None:
+            channels = adaptation.demand.audio_channels
+            plan.actions.append(FilterAction(
+                kind=FilterKind.MERGE_CHANNELS, channel=channel,
+                descriptor_id=descriptor.descriptor_id,
+                parameters={"target_channels": adaptation.audio_channels},
+                reason=f"{channels}-channel layout exceeds the device's "
+                       f"{environment.audio_channels} channel(s)"))
+
+
+def _scale_stream_bandwidth(attributes: dict[str, Any],
+                            ratio: float) -> None:
+    """Scale the declared stream bandwidth by a reduction ratio.
+
+    Truncation matches (and can only undershoot) the negotiation
+    projection's single-``int`` arithmetic, so adapted documents never
+    demand more bandwidth than the projection promised.
+    """
+    resources = attributes.get("resources")
+    if not resources or "bandwidth-bps" not in resources:
+        return
+    updated = dict(resources)
+    updated["bandwidth-bps"] = int(updated["bandwidth-bps"] * ratio)
+    attributes["resources"] = updated
+
+
+def adapt_attributes(action: FilterAction,
+                     attributes: dict[str, Any]) -> dict[str, Any]:
+    """The attribute-only effect of one filter action.
+
+    This is the single place an action's format consequences are
+    written down: :func:`apply_action` uses it next to the payload
+    transformation, and the adaptation compiler uses it to adapt whole
+    documents without touching payload bytes — so the two paths cannot
+    drift apart.  Returns a new attribute mapping.
+    """
+    updated = dict(attributes)
+    kind = action.kind
+    if kind is FilterKind.REDUCE_COLOR:
+        depth = int(updated.get("color-depth", 0))
+        bits = action.parameters["bits_per_channel"]
+        updated["color-depth"] = bits * 3
+        if depth > 0:
+            _scale_stream_bandwidth(updated, (bits * 3) / depth)
+    elif kind is FilterKind.TO_MONOCHROME:
+        depth = int(updated.get("color-depth", 0))
+        updated["color-depth"] = 1
+        if depth > 0:
+            _scale_stream_bandwidth(updated, 1 / depth)
+    elif kind is FilterKind.SCALE_RESOLUTION:
+        width = action.parameters["target_width"]
+        height = action.parameters["target_height"]
+        previous = updated.get("resolution")
+        updated["resolution"] = (width, height)
+        if previous and int(previous[0]) and int(previous[1]):
+            _scale_stream_bandwidth(
+                updated,
+                (width * height) / (int(previous[0]) * int(previous[1])))
+    elif kind is FilterKind.SUBSAMPLE_FRAMES:
+        rate = float(updated.get("frame-rate", 25.0))
+        achieved = quantized_rate(rate,
+                                  action.parameters["target_rate"])
+        step = math.ceil(rate / action.parameters["target_rate"] - 1e-9) \
+            if action.parameters["target_rate"] < rate else 1
+        updated["frame-rate"] = achieved
+        if "frames" in updated:
+            # frames[::step] keeps ceil(n / step) frames.
+            updated["frames"] = -(-int(updated["frames"]) // step)
+        if rate > 0:
+            _scale_stream_bandwidth(updated, achieved / rate)
+    elif kind is FilterKind.DOWNSAMPLE_AUDIO:
+        rate = float(updated.get("sample-rate", 44100.0))
+        target = action.parameters["target_rate"]
+        if target < rate:
+            factor = math.ceil(rate / target - 1e-9)
+        else:
+            factor = 1
+        achieved = rate / factor
+        updated["sample-rate"] = achieved
+        if "samples" in updated:
+            # The decimator emits one window mean per full window, but
+            # never less than a single sample.
+            updated["samples"] = max(1, int(updated["samples"]) // factor)
+        if rate > 0:
+            _scale_stream_bandwidth(updated, achieved / rate)
+    elif kind is FilterKind.MERGE_CHANNELS:
+        channels = int(updated.get("channels", 0) or 0)
+        target = action.parameters["target_channels"]
+        if channels > target:
+            updated["channels"] = target
+            if channels > 0:
+                _scale_stream_bandwidth(updated, target / channels)
+    elif kind is FilterKind.DROP_CHANNEL:
+        raise DeviceConstraintError(
+            "drop-channel actions remove events; they have no attribute "
+            "transformation")
+    else:  # pragma: no cover - exhaustive over FilterKind
+        raise MediaError(f"unknown filter action {action.kind}")
+    return updated
 
 
 def apply_action(action: FilterAction, payload: Any,
@@ -208,17 +370,16 @@ def apply_action(action: FilterAction, payload: Any,
 
     Returns the transformed payload and an updated descriptor whose
     attributes reflect the new format (the receiving tools keep working
-    from attributes, so the mapping must keep them truthful).
+    from attributes, so the mapping must keep them truthful).  The
+    attribute update is :func:`adapt_attributes`, the same function the
+    document-level adaptation uses.
     """
-    attributes = dict(descriptor.attributes)
     if action.kind is FilterKind.REDUCE_COLOR:
         bits = action.parameters["bits_per_channel"]
         transformed = _map_frames(payload, descriptor,
                                   lambda a: reduce_color_depth(a, bits))
-        attributes["color-depth"] = bits * 3
     elif action.kind is FilterKind.TO_MONOCHROME:
         transformed = _map_frames(payload, descriptor, to_monochrome)
-        attributes["color-depth"] = 1
     elif action.kind is FilterKind.SCALE_RESOLUTION:
         width = action.parameters["target_width"]
         height = action.parameters["target_height"]
@@ -226,25 +387,28 @@ def apply_action(action: FilterAction, payload: Any,
             transformed = scale_frames(payload, width, height)
         else:
             transformed = scale_image(payload, width, height)
-        attributes["resolution"] = (width, height)
     elif action.kind is FilterKind.SUBSAMPLE_FRAMES:
         rate = float(descriptor.get("frame-rate", 25.0))
-        transformed, achieved = subsample_frame_rate(
+        transformed, _achieved = subsample_frame_rate(
             payload, rate, action.parameters["target_rate"])
-        attributes["frame-rate"] = achieved
-        attributes["frames"] = len(transformed)
     elif action.kind is FilterKind.DOWNSAMPLE_AUDIO:
         rate = float(descriptor.get("sample-rate", 44100.0))
-        transformed, achieved = downsample(
+        transformed, _achieved = downsample(
             np.asarray(payload), rate, action.parameters["target_rate"])
-        attributes["sample-rate"] = achieved
-        attributes["samples"] = len(transformed)
+    elif action.kind is FilterKind.MERGE_CHANNELS:
+        transformed = merge_channels(
+            np.asarray(payload), action.parameters["target_channels"])
     elif action.kind is FilterKind.DROP_CHANNEL:
         raise DeviceConstraintError(
             "drop-channel actions remove events; they have no payload "
             "transformation")
     else:  # pragma: no cover - exhaustive over FilterKind
         raise MediaError(f"unknown filter action {action.kind}")
+    attributes = adapt_attributes(action, dict(descriptor.attributes))
+    if action.kind is FilterKind.SUBSAMPLE_FRAMES:
+        attributes["frames"] = len(transformed)
+    elif action.kind is FilterKind.DOWNSAMPLE_AUDIO:
+        attributes["samples"] = len(transformed)
     updated = DataDescriptor(
         descriptor_id=descriptor.descriptor_id,
         medium=descriptor.medium,

@@ -104,11 +104,20 @@ class RunPlan:
 
 
 class PlaybackProgram:
-    """A schedule lowered to flat arrays, replayable without the tree."""
+    """A schedule lowered to flat arrays, replayable without the tree.
+
+    ``adaptation`` is None for the shared base program; an environment-
+    specialized program (see :meth:`specialized`) carries its compiled
+    :class:`~repro.pipeline.adaptation.AdaptationProgram` while sharing
+    every array with the base — per-descriptor filtering never changes
+    event timing (durations are authored, not derived from rates), so
+    specialization is metadata, not a re-lowering.
+    """
 
     __slots__ = ("schedule", "revision", "n_events", "begin_ms", "end_ms",
                  "node_paths", "channels", "channel_index", "media",
-                 "medium_index", "audit_arcs", "nav_arcs", "_audit_rows")
+                 "medium_index", "audit_arcs", "nav_arcs", "_audit_rows",
+                 "adaptation")
 
     def __init__(self, schedule: Schedule, revision: int,
                  begin_ms: list[float], end_ms: list[float],
@@ -116,7 +125,8 @@ class PlaybackProgram:
                  channel_index: list[int], media: tuple[Medium, ...],
                  medium_index: list[int],
                  audit_arcs: tuple[AuditArc, ...],
-                 nav_arcs: tuple[NavArc, ...]) -> None:
+                 nav_arcs: tuple[NavArc, ...],
+                 adaptation=None) -> None:
         self.schedule = schedule
         self.revision = revision
         self.n_events = len(begin_ms)
@@ -129,12 +139,23 @@ class PlaybackProgram:
         self.medium_index = medium_index
         self.audit_arcs = audit_arcs
         self.nav_arcs = nav_arcs
+        self.adaptation = adaptation
         # The audit loop's hot view of the arc table: plain tuples
         # unpack far faster than seven dataclass attribute reads.
         self._audit_rows = [
             (arc.source_events, arc.src_begin, arc.dest_events,
              arc.dst_begin, arc.offset_ms, arc.delta_ms, arc.epsilon_ms)
             for arc in audit_arcs]
+
+    def specialized(self, adaptation) -> "PlaybackProgram":
+        """An environment-specialized view sharing all compiled arrays."""
+        clone = PlaybackProgram(
+            self.schedule, self.revision, self.begin_ms, self.end_ms,
+            self.node_paths, self.channels, self.channel_index,
+            self.media, self.medium_index, self.audit_arcs,
+            self.nav_arcs, adaptation=adaptation)
+        clone._audit_rows = self._audit_rows
+        return clone
 
     # -- per-run execution (pure array arithmetic) ------------------------
 
@@ -413,12 +434,17 @@ def _endpoint_time(events: tuple[int, ...], anchor_begin: bool,
 
 
 class ProgramCache:
-    """Compiled programs keyed by schedule identity + document revision.
+    """Compiled programs keyed by (schedule identity, revision,
+    environment fingerprint).
 
     The serving path replays one schedule across many runs, rates and
-    environments; the program only changes when the schedule does.  Like
-    the schedule cache, entries pin their schedule so ``id()`` reuse is
-    impossible, and a document edit (revision bump) moves the key.
+    environments; the base program only changes when the schedule does,
+    and each environment-specialized program (base + compiled
+    adaptation) is keyed by the environment's capability fingerprint —
+    so capability-identical environments share one entry regardless of
+    their names.  Like the schedule cache, entries pin their schedule
+    so ``id()`` reuse is impossible, and a document edit (revision
+    bump) moves the key.
     """
 
     def __init__(self, capacity: int = 8) -> None:
@@ -433,27 +459,35 @@ class ProgramCache:
             collections.OrderedDict()
 
     @staticmethod
-    def _key(schedule: Schedule) -> tuple:
-        return (id(schedule), schedule.compiled.document.revision)
+    def _key(schedule: Schedule,
+             environment: SystemEnvironment | None = None) -> tuple:
+        return (id(schedule), schedule.compiled.document.revision,
+                None if environment is None else environment.fingerprint())
 
-    def get(self, schedule: Schedule) -> PlaybackProgram | None:
-        entry = self._entries.get(self._key(schedule))
+    def get(self, schedule: Schedule, *,
+            environment: SystemEnvironment | None = None
+            ) -> PlaybackProgram | None:
+        key = self._key(schedule, environment)
+        entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
-        self._entries.move_to_end(self._key(schedule))
+        self._entries.move_to_end(key)
         self.hits += 1
         return entry[1]
 
-    def put(self, schedule: Schedule, program: PlaybackProgram) -> None:
-        key = self._key(schedule)
+    def put(self, schedule: Schedule, program: PlaybackProgram, *,
+            environment: SystemEnvironment | None = None) -> None:
+        key = self._key(schedule, environment)
         self._entries[key] = (schedule, program)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
     def program_for(self, schedule: Schedule) -> PlaybackProgram:
-        """The schedule's program, compiled at most once."""
+        """The schedule's base (environment-free) program, compiled at
+        most once.  Environment-specialized programs go through
+        :func:`repro.pipeline.adaptation.adapted_program_for`."""
         cached = self.get(schedule)
         if cached is not None:
             return cached

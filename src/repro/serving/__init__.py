@@ -1,0 +1,17 @@
+"""Serving: the multi-tenant session engine over compiled caches.
+
+The operational form of the paper's transportability story: admission
+by negotiation, automatic adaptation of ``playable-with-filtering``
+documents through the compiled adaptation pipeline, and concurrent
+replay of many tenants' sessions through shared schedule/program/
+adaptation caches.  See :mod:`repro.serving.engine` for the layer map.
+"""
+
+from repro.serving.engine import (EnvironmentStats, PLAYER_CACHE_CAPACITY,
+                                  ServingReport, SessionEngine)
+from repro.serving.session import SESSION_SEED_STRIDE, Session
+
+__all__ = [
+    "EnvironmentStats", "PLAYER_CACHE_CAPACITY", "SESSION_SEED_STRIDE",
+    "ServingReport", "Session", "SessionEngine",
+]

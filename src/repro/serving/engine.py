@@ -1,0 +1,365 @@
+"""The multi-tenant session engine: admission + adapted replay at scale.
+
+This is the serving layer the ROADMAP's "locally served, centrally
+authored" posture needs: heterogeneous client fleets (workstations,
+modest personal systems, audio-less terminals) opening sessions against
+a shared document catalog.  Per session, the naive path pays a
+negotiation tree walk, a filter-plan derivation, a document adaptation,
+a constraint solve and a program compilation; all of it is invariant
+per (document revision, environment fingerprint), so the engine pays it
+once and shares it:
+
+* :class:`~repro.transport.requirements.RequirementsCache` — one
+  requirement-profile walk per document revision, reused by every
+  environment's negotiation;
+* :class:`~repro.timing.schedule.ScheduleCache` — one constraint solve
+  per document revision (cold solves default to the compiled graph
+  engine of PR 4), shared across all environments;
+* :class:`~repro.pipeline.program.ProgramCache` — one base playback
+  program per schedule plus one compiled adaptation per environment
+  fingerprint (:func:`~repro.pipeline.adaptation.adapted_program_for`);
+* a :class:`~repro.pipeline.program.BatchPlayer` per (program,
+  fingerprint), so concurrent sessions share transforms, run plans and
+  latency tables and each replay is the pure array inner loop.
+
+Admission is the paper's negotiation, made operational: ``unplayable``
+sessions are rejected at the door, ``playable-with-filtering`` sessions
+are auto-adapted through the compiled adaptation pipeline, ``playable``
+sessions share the unspecialized base program.  Per-environment
+admission and traffic statistics make the engine observable
+(``report().describe()`` is what the CLI ``serve`` subcommand prints).
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+from dataclasses import dataclass, field
+
+from repro.core.document import CmifDocument
+from repro.core.errors import ValueError_
+from repro.pipeline.adaptation import adapted_program_for
+from repro.pipeline.program import BatchPlayer, PlaybackProgram, \
+    ProgramCache
+from repro.timing.schedule import (ENGINE_GRAPH, SCHEDULE_ENGINES,
+                                   Schedule, ScheduleCache, schedule_for)
+from repro.transport.environments import SystemEnvironment
+from repro.transport.negotiate import negotiate
+from repro.transport.requirements import RequirementsCache
+from repro.serving.session import (FILTERABLE, PLAYABLE,
+                                   SESSION_SEED_STRIDE, Session,
+                                   UNPLAYABLE)
+
+#: Distinct (program, environment) batch players kept live; each holds
+#: per-configuration transform caches, so the table is LRU-bounded.
+PLAYER_CACHE_CAPACITY = 128
+
+
+@dataclass
+class EnvironmentStats:
+    """Admission and traffic accounting for one environment profile."""
+
+    name: str
+    sessions: int = 0
+    playable: int = 0
+    filtered: int = 0
+    rejected: int = 0
+    replays: int = 0
+    events_played: int = 0
+    admit_seconds: float = 0.0
+    replay_seconds: float = 0.0
+
+    @property
+    def admitted(self) -> int:
+        return self.playable + self.filtered
+
+    def verdict_counts(self) -> dict[str, int]:
+        return {PLAYABLE: self.playable, FILTERABLE: self.filtered,
+                UNPLAYABLE: self.rejected}
+
+    def describe(self) -> str:
+        admission_rate = (self.admitted / self.admit_seconds
+                          if self.admit_seconds > 0 else 0.0)
+        replay_rate = (self.replays / self.replay_seconds
+                       if self.replay_seconds > 0 else 0.0)
+        events_rate = (self.events_played / self.replay_seconds
+                       if self.replay_seconds > 0 else 0.0)
+        return (f"{self.name:<16} {self.sessions:5d} sessions "
+                f"({self.playable} playable / {self.filtered} filtered / "
+                f"{self.rejected} rejected)  "
+                f"{admission_rate:8.1f} admits/s  "
+                f"{self.replays:6d} replays ({replay_rate:8.1f}/s, "
+                f"{events_rate:10.0f} events/s)")
+
+
+    def snapshot(self) -> "EnvironmentStats":
+        """A value copy, for per-run delta accounting."""
+        return EnvironmentStats(**self.__dict__)
+
+    def delta_since(self, before: "EnvironmentStats | None"
+                    ) -> "EnvironmentStats":
+        """This row minus an earlier snapshot (None = all of it)."""
+        if before is None:
+            return self.snapshot()
+        return EnvironmentStats(
+            name=self.name,
+            sessions=self.sessions - before.sessions,
+            playable=self.playable - before.playable,
+            filtered=self.filtered - before.filtered,
+            rejected=self.rejected - before.rejected,
+            replays=self.replays - before.replays,
+            events_played=self.events_played - before.events_played,
+            admit_seconds=self.admit_seconds - before.admit_seconds,
+            replay_seconds=self.replay_seconds - before.replay_seconds)
+
+
+@dataclass
+class ServingReport:
+    """One :meth:`SessionEngine.serve` run's aggregate outcome.
+
+    The per-environment rows are *this run's* deltas, even when the
+    engine (and its lifetime :attr:`SessionEngine.stats`) is reused
+    across several ``serve`` calls."""
+
+    environments: list[EnvironmentStats] = field(default_factory=list)
+    documents: int = 0
+    wall_seconds: float = 0.0
+    schedule_cache: ScheduleCache | None = None
+    program_cache: ProgramCache | None = None
+    requirements_cache: RequirementsCache | None = None
+
+    @property
+    def sessions(self) -> int:
+        return sum(stats.sessions for stats in self.environments)
+
+    @property
+    def admitted(self) -> int:
+        return sum(stats.admitted for stats in self.environments)
+
+    @property
+    def rejected(self) -> int:
+        return sum(stats.rejected for stats in self.environments)
+
+    @property
+    def replays(self) -> int:
+        return sum(stats.replays for stats in self.environments)
+
+    @property
+    def events_played(self) -> int:
+        return sum(stats.events_played for stats in self.environments)
+
+    @property
+    def sessions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sessions / self.wall_seconds
+
+    def describe(self) -> str:
+        lines = [f"served {self.documents} document(s): {self.sessions} "
+                 f"session(s), {self.admitted} admitted, "
+                 f"{self.rejected} rejected, {self.replays} replay(s), "
+                 f"{self.events_played} event(s) in "
+                 f"{self.wall_seconds * 1000:.1f}ms "
+                 f"({self.sessions_per_second:.1f} sessions/s)"]
+        lines.extend(f"  {stats.describe()}"
+                     for stats in self.environments)
+        for cache in (self.requirements_cache, self.schedule_cache,
+                      self.program_cache):
+            if cache is not None:
+                lines.append(f"  {cache.describe()}")
+        return "\n".join(lines)
+
+
+class SessionEngine:
+    """Admit, adapt and replay sessions across shared compiled caches."""
+
+    def __init__(self, *, engine: str = ENGINE_GRAPH, seed: int = 0,
+                 prefetch_lead_ms: float = 0.0,
+                 schedule_cache: ScheduleCache | None = None,
+                 program_cache: ProgramCache | None = None,
+                 requirements_cache: RequirementsCache | None = None,
+                 schedule_capacity: int = 128,
+                 program_capacity: int = 512) -> None:
+        if engine not in SCHEDULE_ENGINES:
+            raise ValueError_(f"unknown schedule engine {engine!r}; "
+                              f"expected one of {SCHEDULE_ENGINES}")
+        self.engine = engine
+        self.seed = seed
+        self.prefetch_lead_ms = prefetch_lead_ms
+        self.schedule_cache = (schedule_cache if schedule_cache is not None
+                               else ScheduleCache(
+                                   capacity=schedule_capacity))
+        self.program_cache = (program_cache if program_cache is not None
+                              else ProgramCache(capacity=program_capacity))
+        self.requirements_cache = (
+            requirements_cache if requirements_cache is not None
+            else RequirementsCache(capacity=schedule_capacity))
+        self.stats: dict[str, EnvironmentStats] = {}
+        self.session_count = 0
+        #: (id(program), environment fingerprint) -> (program, player);
+        #: pinning the program keeps id() reuse impossible.
+        self._players: collections.OrderedDict[
+            tuple, tuple[PlaybackProgram, BatchPlayer]] = \
+            collections.OrderedDict()
+
+    # -- shared-resource plumbing -----------------------------------------
+
+    def stats_for(self, environment: SystemEnvironment
+                  ) -> EnvironmentStats:
+        stats = self.stats.get(environment.name)
+        if stats is None:
+            stats = EnvironmentStats(name=environment.name)
+            self.stats[environment.name] = stats
+        return stats
+
+    def _player_for(self, schedule: Schedule, program: PlaybackProgram,
+                    environment: SystemEnvironment) -> BatchPlayer:
+        key = (id(program), environment.fingerprint())
+        entry = self._players.get(key)
+        if entry is not None and entry[0] is program:
+            self._players.move_to_end(key)
+            return entry[1]
+        player = BatchPlayer(schedule, environment, seed=self.seed,
+                             prefetch_lead_ms=self.prefetch_lead_ms,
+                             program=program)
+        self._players[key] = (program, player)
+        self._players.move_to_end(key)
+        while len(self._players) > PLAYER_CACHE_CAPACITY:
+            self._players.popitem(last=False)
+        return player
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, document: CmifDocument,
+              environment: SystemEnvironment) -> Session:
+        """Negotiate one session; adapt and compile when admissible.
+
+        Always returns a :class:`Session` — rejected ones carry the
+        negotiation result (``session.admitted`` is False) so callers
+        can report *why* without exception plumbing on the hot path.
+        """
+        stats = self.stats_for(environment)
+        start = time.perf_counter()
+        requirements = self.requirements_cache.requirements_for(document)
+        negotiation = negotiate(document, environment,
+                                requirements=requirements)
+        self.session_count += 1
+        session = Session(
+            session_id=self.session_count,
+            document=document,
+            environment=environment,
+            negotiation=negotiation,
+            seed=self.seed + self.session_count * SESSION_SEED_STRIDE,
+            stats=stats)
+        stats.sessions += 1
+        if negotiation.verdict == UNPLAYABLE:
+            stats.rejected += 1
+            stats.admit_seconds += time.perf_counter() - start
+            return session
+        schedule = schedule_for(document, cache=self.schedule_cache,
+                                engine=self.engine)
+        program = adapted_program_for(schedule, environment,
+                                      program_cache=self.program_cache,
+                                      requirements=requirements)
+        session.schedule = schedule
+        session.program = program
+        session.player = self._player_for(schedule, program, environment)
+        if negotiation.verdict == PLAYABLE:
+            stats.playable += 1
+        else:
+            stats.filtered += 1
+        stats.admit_seconds += time.perf_counter() - start
+        return session
+
+    # -- replay -------------------------------------------------------------
+
+    def play(self, session: Session, replays: int = 1, *,
+             rate: float = 1.0, seek_to_ms: float = 0.0) -> int:
+        """Run ``replays`` replays of one session; returns events played."""
+        stats = self.stats_for(session.environment)
+        start = time.perf_counter()
+        events = 0
+        for _ in range(replays):
+            events += session.play(rate=rate,
+                                   seek_to_ms=seek_to_ms).played_count
+        stats.replay_seconds += time.perf_counter() - start
+        return events
+
+    def drive(self, sessions, replays: int = 1, *, rate: float = 1.0,
+              seek_to_ms: float = 0.0) -> int:
+        """Interleave ``replays`` rounds across many concurrent sessions.
+
+        Round-robin, one replay per session per round — the multi-tenant
+        schedule, exercising every shared cache between tenants rather
+        than draining one session at a time.  Returns replays performed.
+        """
+        admitted = [session for session in sessions if session.admitted]
+        performed = 0
+        by_stats: collections.Counter = collections.Counter()
+        start = time.perf_counter()
+        for _ in range(replays):
+            for session in admitted:
+                session.play(rate=rate, seek_to_ms=seek_to_ms)
+                performed += 1
+                by_stats[id(session.stats)] += 1
+        elapsed = time.perf_counter() - start
+        # Wall time attributed proportionally to each environment's share.
+        if performed:
+            for session in admitted:
+                stats = session.stats
+                share = by_stats.pop(id(stats), 0)
+                if share and stats is not None:
+                    stats.replay_seconds += elapsed * share / performed
+        return performed
+
+    # -- corpus serving ------------------------------------------------------
+
+    def serve(self, documents, environments, *,
+              sessions_per_pair: int = 1, replays: int = 1,
+              rate: float = 1.0, seek_to_ms: float = 0.0
+              ) -> ServingReport:
+        """Admit and drive a whole corpus against environment profiles.
+
+        ``documents`` is an iterable of :class:`CmifDocument`;
+        ``sessions_per_pair`` opens that many tenant sessions per
+        (document, environment) pair, and ``replays`` rounds are
+        round-robined across every admitted session.
+        """
+        if sessions_per_pair < 1:
+            raise ValueError_("sessions_per_pair must be at least 1, "
+                              f"got {sessions_per_pair}")
+        documents = list(documents)
+        environments = list(environments)
+        before = {name: stats.snapshot()
+                  for name, stats in self.stats.items()}
+        wall_start = time.perf_counter()
+        sessions: list[Session] = []
+        for document in documents:
+            for environment in environments:
+                for _ in range(sessions_per_pair):
+                    sessions.append(self.admit(document, environment))
+        if replays > 0:
+            self.drive(sessions, replays, rate=rate,
+                       seek_to_ms=seek_to_ms)
+        wall_seconds = time.perf_counter() - wall_start
+        ordered = [self.stats[environment.name].delta_since(
+                       before.get(environment.name))
+                   for environment in environments
+                   if environment.name in self.stats]
+        return ServingReport(
+            environments=ordered,
+            documents=len(documents),
+            wall_seconds=wall_seconds,
+            schedule_cache=self.schedule_cache,
+            program_cache=self.program_cache,
+            requirements_cache=self.requirements_cache)
+
+    def describe(self) -> str:
+        lines = [f"session engine: {self.session_count} session(s) "
+                 f"admitted or rejected, engine={self.engine}"]
+        lines.extend(f"  {stats.describe()}"
+                     for stats in self.stats.values())
+        lines.append(f"  {self.requirements_cache.describe()}")
+        lines.append(f"  {self.schedule_cache.describe()}")
+        lines.append(f"  {self.program_cache.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Serving sessions: one admitted reader of one document.
+
+A session is the unit the multi-tenant engine multiplexes: a reader on
+some client environment asking to play some document.  Admission
+(negotiate → adapt → compile) happens in the engine; the session object
+holds the outcome — the verdict, the environment-specialized playback
+program and the shared :class:`~repro.pipeline.program.BatchPlayer` —
+plus the per-session replay counters.
+
+Sessions are deterministic: each gets its own jitter seed derived from
+the engine seed and its session id, so any session's runs can be
+reproduced bit-for-bit regardless of how its replays interleave with
+other tenants'.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.document import CmifDocument
+from repro.core.errors import PlaybackError
+from repro.pipeline.program import BatchPlayer, CompactReport, \
+    PlaybackProgram
+from repro.timing.schedule import Schedule
+from repro.transport.environments import SystemEnvironment
+from repro.transport.negotiate import (FILTERABLE, NegotiationResult,
+                                       PLAYABLE, UNPLAYABLE)
+
+#: Spread between per-session jitter seed bases: large enough that no
+#: realistic replay count makes two sessions' seed ranges overlap.
+SESSION_SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class Session:
+    """One reader's admitted (or rejected) presentation session."""
+
+    session_id: int
+    document: CmifDocument
+    environment: SystemEnvironment
+    negotiation: NegotiationResult
+    seed: int
+    schedule: Schedule | None = None
+    program: PlaybackProgram | None = None
+    player: BatchPlayer | None = None
+    #: The engine's per-environment stats row; replays report into it.
+    stats: "object | None" = field(default=None, repr=False)
+    replays_run: int = 0
+    events_played: int = 0
+
+    @property
+    def verdict(self) -> str:
+        return self.negotiation.verdict
+
+    @property
+    def admitted(self) -> bool:
+        """True when the session may play (possibly with adaptation)."""
+        return self.verdict in (PLAYABLE, FILTERABLE)
+
+    @property
+    def adapted(self) -> bool:
+        """True when playback runs through a compiled adaptation."""
+        return (self.program is not None
+                and self.program.adaptation is not None)
+
+    def rng_for(self, replay: int) -> random.Random:
+        """The jitter RNG of this session's ``replay``-th run."""
+        return random.Random(self.seed + replay)
+
+    def play(self, *, rate: float = 1.0,
+             freeze_at_ms: float | None = None,
+             freeze_duration_ms: float = 0.0,
+             seek_to_ms: float = 0.0) -> CompactReport:
+        """One replay through the shared batch player.
+
+        The player, its program, transforms and run plans are shared
+        with every other session of the same (document revision,
+        environment fingerprint); only the jitter draw is per-session.
+        """
+        if not self.admitted or self.player is None:
+            raise PlaybackError(
+                f"session {self.session_id} was not admitted "
+                f"({self.verdict} on {self.environment.name}); it cannot "
+                f"play")
+        report = self.player.run_one(
+            rate=rate, freeze_at_ms=freeze_at_ms,
+            freeze_duration_ms=freeze_duration_ms,
+            seek_to_ms=seek_to_ms, environment=self.environment,
+            rng=self.rng_for(self.replays_run))
+        self.replays_run += 1
+        self.events_played += report.played_count
+        if self.stats is not None:
+            self.stats.replays += 1
+            self.stats.events_played += report.played_count
+        return report
+
+    def describe(self) -> str:
+        state = self.verdict if not self.adapted \
+            else f"{self.verdict} (adapted)"
+        return (f"session {self.session_id} on {self.environment.name}: "
+                f"{state}, {self.replays_run} replay(s), "
+                f"{self.events_played} event(s)")
+
+
+__all__ = ["FILTERABLE", "PLAYABLE", "SESSION_SEED_STRIDE", "Session",
+           "UNPLAYABLE"]

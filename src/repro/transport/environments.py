@@ -18,10 +18,62 @@ constants for the benches and examples.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 
 from repro.core.channels import Medium
 from repro.core.errors import DeviceConstraintError
+
+
+class LatencyMap(Mapping):
+    """An immutable, hashable per-medium latency table.
+
+    :class:`SystemEnvironment` is ``frozen=True`` so instances can key
+    the serving-layer caches (program cache, adaptation cache, session
+    stats) — which requires every field to be hashable.  A plain dict
+    field silently broke that contract; this wrapper keeps the mapping
+    interface (``[]``, ``get``, iteration) while making mutation a
+    ``TypeError`` and equality/hashing order-independent.
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Mapping[Medium, float] | None = None) -> None:
+        object.__setattr__(self, "_data", dict(data or {}))
+        object.__setattr__(self, "_hash", None)
+
+    def __getitem__(self, medium: Medium) -> float:
+        return self._data[medium]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(self, "_hash",
+                               hash(frozenset(self._data.items())))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LatencyMap):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise TypeError("LatencyMap is immutable")
+
+    def __reduce__(self):
+        # Copy/pickle must reconstruct through __init__: the default
+        # slotted-state path would setattr on the frozen instance.
+        return (LatencyMap, (self._data,))
+
+    def __repr__(self) -> str:
+        return f"LatencyMap({self._data!r})"
 
 
 @dataclass(frozen=True)
@@ -38,11 +90,17 @@ class SystemEnvironment:
     bandwidth_bps: int = 10_000_000
     supported_media: frozenset[Medium] = frozenset(Medium)
     #: Worst-case start latency per medium, in milliseconds; the player's
-    #: device model and the class-2 conflict detector read these.
-    start_latency_ms: dict[Medium, float] = field(default_factory=dict)
+    #: device model and the class-2 conflict detector read these.  Any
+    #: mapping passed in is frozen into a :class:`LatencyMap` so the
+    #: environment stays hashable (cache-keyable) as a whole.
+    start_latency_ms: Mapping[Medium, float] = field(
+        default_factory=LatencyMap)
     jitter_ms: float = 0.0
 
     def __post_init__(self) -> None:
+        if not isinstance(self.start_latency_ms, LatencyMap):
+            object.__setattr__(self, "start_latency_ms",
+                               LatencyMap(self.start_latency_ms))
         if self.screen_width < 0 or self.screen_height < 0:
             raise DeviceConstraintError(
                 f"screen size cannot be negative: "
@@ -90,6 +148,25 @@ class SystemEnvironment:
     def degraded(self, **changes) -> "SystemEnvironment":
         """A copy with some capabilities changed (for sweeps)."""
         return replace(self, **changes)
+
+    def fingerprint(self) -> tuple:
+        """A stable capability identity, for cache keys.
+
+        Deliberately excludes :attr:`name`: two differently-named but
+        capability-identical environments negotiate, filter and compile
+        identically, so the serving caches (program cache, adaptation
+        cache) should share one entry between them.  Everything that can
+        influence negotiation, filtering or playback is included.
+        """
+        return (
+            self.screen_width, self.screen_height, self.color_depth,
+            self.max_frame_rate, self.audio_channels,
+            self.max_sample_rate, self.bandwidth_bps,
+            tuple(sorted(medium.value for medium in self.supported_media)),
+            tuple(sorted((medium.value, latency) for medium, latency
+                         in self.start_latency_ms.items())),
+            self.jitter_ms,
+        )
 
 
 def _latencies(text: float = 1.0, audio: float = 5.0, video: float = 20.0,

@@ -3,10 +3,15 @@
 "What CMIF can provide ... is a structured basis upon which a given
 system can determine whether it can support the requested document or
 not."  :func:`negotiate` performs that determination from descriptors
-alone: it derives the document's requirements (media used, resolutions,
-rates, bandwidth, hard-synchronization tightness) and checks them
-against a :class:`~repro.transport.environments.SystemEnvironment`,
-returning a structured verdict with per-requirement findings.
+alone: the document's requirements (media used, resolutions, rates,
+bandwidth, hard-synchronization tightness) are derived once per
+document revision as a
+:class:`~repro.transport.requirements.DocumentRequirements` profile,
+then checked against a
+:class:`~repro.transport.environments.SystemEnvironment`, returning a
+structured verdict with per-requirement findings.  Negotiating one
+document against N environments therefore walks the tree once, not N
+times — the serving engine's admission path relies on this.
 
 Three verdicts are possible, mirroring the pipeline's options:
 
@@ -15,20 +20,26 @@ Three verdicts are possible, mirroring the pipeline's options:
   by the constraint-filter stage (colour reduction, scaling,
   sub-sampling, channel merging);
 * ``unplayable`` — some requirement has no filter (a required medium is
-  entirely unsupported, or a must arc is tighter than the device
-  latency).
+  entirely unsupported, a must arc is tighter than the device latency,
+  or the bandwidth projection shows no achievable filtering).
+
+Verdicts are *honest*: a finding is only marked filterable when the
+constraint filter's own planning math — shared through
+:mod:`repro.transport.requirements` — can actually resolve it, so a
+``playable-with-filtering`` document re-negotiates as ``playable``
+after its filter plan is applied.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
-from repro.core.channels import Medium
 from repro.core.document import CmifDocument
-from repro.core.errors import SyncArcError
-from repro.core.syncarc import Strictness
-from repro.core.tree import iter_preorder
 from repro.transport.environments import SystemEnvironment
+from repro.transport.requirements import (DocumentRequirements,
+                                          RequirementsCache,
+                                          requirements_for)
 
 PLAYABLE = "playable"
 FILTERABLE = "playable-with-filtering"
@@ -51,6 +62,16 @@ class Finding:
         return (f"{self.requirement}: needs {self.needed}, "
                 f"has {self.available} [{state}]")
 
+    def to_obj(self) -> dict[str, object]:
+        """The machine-readable form (CLI ``negotiate --json``)."""
+        return {
+            "requirement": self.requirement,
+            "needed": self.needed,
+            "available": self.available,
+            "satisfied": self.satisfied,
+            "filterable": self.filterable,
+        }
+
 
 @dataclass
 class NegotiationResult:
@@ -70,74 +91,46 @@ class NegotiationResult:
         lines.extend(f"  - {finding}" for finding in self.findings)
         return "\n".join(lines)
 
+    def to_obj(self) -> dict[str, object]:
+        """The machine-readable form (CLI ``negotiate --json``)."""
+        return {
+            "environment": self.environment,
+            "verdict": self.verdict,
+            "ok": self.ok,
+            "findings": [finding.to_obj() for finding in self.findings],
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_obj(), indent=indent)
+
 
 def document_requirements(document: CmifDocument) -> dict[str, object]:
     """Derive a document's requirements from descriptors only.
 
     Returns media set, maximum resolution, colour depth, frame and
-    sample rates, summed worst-case bandwidth, and the tightest must-arc
-    window per medium.
+    sample rates, audio channel count, summed worst-case bandwidth, and
+    the tightest must-arc window.  Kept as the seed's mapping shape;
+    the structured (and cacheable) form is
+    :func:`repro.transport.requirements.requirements_for`.
     """
-    media: set[Medium] = set()
-    max_width = 0
-    max_height = 0
-    color_depth = 0
-    frame_rate = 0.0
-    sample_rate = 0.0
-    bandwidth = 0
-    compiled = document.compile()
-    for event in compiled.events:
-        media.add(event.medium)
-        descriptor = event.descriptor
-        if descriptor is None:
-            continue
-        resolution = descriptor.get("resolution")
-        if resolution:
-            width, height = resolution
-            max_width = max(max_width, int(width))
-            max_height = max(max_height, int(height))
-        color_depth = max(color_depth, int(descriptor.get("color-depth", 0)))
-        frame_rate = max(frame_rate, float(descriptor.get("frame-rate", 0.0)))
-        sample_rate = max(sample_rate,
-                          float(descriptor.get("sample-rate", 0.0)))
-        resources = descriptor.get("resources", {})
-        bandwidth += int(resources.get("bandwidth-bps", 0))
-    return {
-        "media": media,
-        "max_resolution": (max_width, max_height),
-        "color_depth": color_depth,
-        "frame_rate": frame_rate,
-        "sample_rate": sample_rate,
-        "bandwidth_bps": bandwidth,
-        "tightest_must_epsilon_ms": _tightest_must_window(document),
-    }
-
-
-def _tightest_must_window(document: CmifDocument) -> float | None:
-    """The smallest finite max-delay among must arcs, if any."""
-    tightest: float | None = None
-    for node in iter_preorder(document.root):
-        for arc in node.arcs:
-            if arc.strictness is not Strictness.MUST:
-                continue
-            try:
-                _delta, epsilon = arc.window_ms(document.timebase)
-            except SyncArcError:
-                continue
-            if epsilon is None:
-                continue
-            if tightest is None or epsilon < tightest:
-                tightest = epsilon
-    return tightest
+    return requirements_for(document).as_dict()
 
 
 def negotiate(document: CmifDocument,
-              environment: SystemEnvironment) -> NegotiationResult:
-    """Check ``document`` against ``environment``; never raises."""
-    requirements = document_requirements(document)
+              environment: SystemEnvironment, *,
+              requirements: DocumentRequirements | None = None,
+              cache: RequirementsCache | None = None) -> NegotiationResult:
+    """Check ``document`` against ``environment``; never raises.
+
+    ``requirements`` short-circuits the profile derivation when the
+    caller already holds one (the serving engine); ``cache`` makes the
+    derivation once-per-revision without the caller managing profiles.
+    """
+    if requirements is None:
+        requirements = requirements_for(document, cache=cache)
     findings: list[Finding] = []
 
-    for medium in sorted(requirements["media"], key=lambda m: m.value):
+    for medium in sorted(requirements.media, key=lambda m: m.value):
         supported = environment.supports(medium)
         findings.append(Finding(
             requirement=f"medium:{medium.value}",
@@ -147,7 +140,7 @@ def negotiate(document: CmifDocument,
             filterable=False,
         ))
 
-    width, height = requirements["max_resolution"]
+    width, height = requirements.max_resolution
     if width and height:
         fits = (width <= environment.screen_width
                 and height <= environment.screen_height)
@@ -158,45 +151,64 @@ def negotiate(document: CmifDocument,
                        f"{environment.screen_height}"),
             satisfied=fits, filterable=True))
 
-    if requirements["color_depth"]:
-        deep_enough = requirements["color_depth"] <= environment.color_depth
+    if requirements.color_depth:
+        deep_enough = requirements.color_depth <= environment.color_depth
         findings.append(Finding(
             requirement="color-depth",
-            needed=f"{requirements['color_depth']}-bit",
+            needed=f"{requirements.color_depth}-bit",
             available=f"{environment.color_depth}-bit",
-            satisfied=deep_enough, filterable=True))
+            satisfied=deep_enough,
+            # Reduction needs at least a 1-bit target to map onto.
+            filterable=environment.color_depth >= 1))
 
-    if requirements["frame_rate"]:
-        fast_enough = (requirements["frame_rate"]
+    if requirements.frame_rate:
+        fast_enough = (requirements.frame_rate
                        <= environment.max_frame_rate)
         findings.append(Finding(
             requirement="frame-rate",
-            needed=f"{requirements['frame_rate']:g}fps",
+            needed=f"{requirements.frame_rate:g}fps",
             available=f"{environment.max_frame_rate:g}fps",
-            satisfied=fast_enough, filterable=True))
+            satisfied=fast_enough,
+            # Sub-sampling needs a positive device rate to target.
+            filterable=environment.max_frame_rate > 0))
 
-    if requirements["sample_rate"]:
-        enough = requirements["sample_rate"] <= environment.max_sample_rate
+    if requirements.sample_rate:
+        enough = requirements.sample_rate <= environment.max_sample_rate
         findings.append(Finding(
             requirement="sample-rate",
-            needed=f"{requirements['sample_rate']:g}Hz",
+            needed=f"{requirements.sample_rate:g}Hz",
             available=f"{environment.max_sample_rate:g}Hz",
             satisfied=enough,
+            filterable=(environment.has_audio
+                        and environment.max_sample_rate > 0)))
+
+    if requirements.audio_channels > 1:
+        enough_lanes = (requirements.audio_channels
+                        <= environment.audio_channels)
+        findings.append(Finding(
+            requirement="audio-channels",
+            needed=f"{requirements.audio_channels}ch",
+            available=f"{environment.audio_channels}ch",
+            satisfied=enough_lanes,
+            # Channel merging needs at least one output lane.
             filterable=environment.has_audio))
 
-    if requirements["bandwidth_bps"]:
-        enough = requirements["bandwidth_bps"] <= environment.bandwidth_bps
+    if requirements.bandwidth_bps:
+        enough = requirements.bandwidth_bps <= environment.bandwidth_bps
+        plan = (None if enough
+                else requirements.plan_for(environment))
         findings.append(Finding(
             requirement="bandwidth",
-            needed=f"{requirements['bandwidth_bps']}bps",
+            needed=f"{requirements.bandwidth_bps}bps",
             available=f"{environment.bandwidth_bps}bps",
-            satisfied=enough, filterable=True))
+            satisfied=enough,
+            # Honest: filterable only when the filter's own projection
+            # fits the budget after (device + pressure) adaptations.
+            filterable=enough or plan.achievable))
 
-    tightest = requirements["tightest_must_epsilon_ms"]
+    tightest = requirements.tightest_must_epsilon_ms
     if tightest is not None:
-        worst_latency = max(
-            (environment.latency_for(m) for m in requirements["media"]),
-            default=0.0)
+        worst_latency = requirements.worst_latency_ms(environment)
         meets = worst_latency <= tightest
         findings.append(Finding(
             requirement="must-sync-tightness",

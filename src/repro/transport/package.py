@@ -17,10 +17,16 @@ Two transport modes, straight from the paper:
 The container is a single JSON object (versioned, checksummed) — the
 1991 equivalent would have been a tar of the text form; JSON keeps the
 package single-file and testable.
+
+Version history: v1 hex-encoded payload blocks; v2 (current) encodes
+them base64, shrinking self-contained packages by roughly a quarter.
+:func:`unpack` accepts both versions; :func:`pack` can still emit v1
+for receivers that predate the bump.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from dataclasses import dataclass
 
@@ -36,7 +42,10 @@ from repro.format.parser import parse_document
 from repro.format.writer import write_document
 from repro.store.datastore import DataStore
 
-PACKAGE_VERSION = 1
+PACKAGE_VERSION = 2
+
+#: Versions :func:`unpack` still opens (v1 shipped hex payloads).
+SUPPORTED_PACKAGE_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -50,7 +59,8 @@ class UnpackResult:
 
 
 def pack(document: CmifDocument, store: DataStore | None = None, *,
-         embed_data: bool = False, strict: bool = True) -> str:
+         embed_data: bool = False, strict: bool = True,
+         package_version: int = PACKAGE_VERSION) -> str:
     """Serialize a document (and optionally its data) into a package.
 
     Descriptors referenced by the document's ``file`` attributes are
@@ -60,7 +70,13 @@ def pack(document: CmifDocument, store: DataStore | None = None, *,
     (the default) an unresolvable ``file`` reference fails the packing;
     ``strict=False`` ships the structure anyway — the paper allows a
     tree to travel "with or without the underlying data".
+    ``package_version=1`` emits the legacy hex payload encoding for old
+    receivers.
     """
+    if package_version not in SUPPORTED_PACKAGE_VERSIONS:
+        raise TransportError(
+            f"cannot emit package version {package_version!r}; supported "
+            f"versions are {SUPPORTED_PACKAGE_VERSIONS}")
     text = write_document(document)
     descriptors: dict[str, dict] = {}
     blocks: dict[str, dict] = {}
@@ -71,10 +87,11 @@ def pack(document: CmifDocument, store: DataStore | None = None, *,
                 and descriptor.block_id is not None \
                 and store.has_block(descriptor.block_id):
             block = store.block_for(descriptor.descriptor_id)
-            blocks[block.block_id] = _block_to_obj(block)
+            blocks[block.block_id] = _block_to_obj(block,
+                                                   package_version)
     payload = {
         "cmif-package": {
-            "version": PACKAGE_VERSION,
+            "version": package_version,
             "document": text,
             "descriptors": descriptors,
             "blocks": blocks,
@@ -129,34 +146,55 @@ def _descriptor_from_obj(obj: dict) -> DataDescriptor:
     )
 
 
-def _block_to_obj(block: DataBlock) -> dict:
+def _encode_payload(raw: bytes, package_version: int) -> str:
+    """Raw payload bytes -> the version's transfer text (hex or b64)."""
+    if package_version == 1:
+        return raw.hex()
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _decode_payload(text: str, package_version: int) -> bytes:
+    """The version's transfer text -> raw payload bytes."""
+    try:
+        if package_version == 1:
+            return bytes.fromhex(text)
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise TransportError(
+            f"corrupt block payload in a v{package_version} package: "
+            f"{exc}") from None
+
+
+def _block_to_obj(block: DataBlock,
+                  package_version: int = PACKAGE_VERSION) -> dict:
     data = block.materialize()
     if isinstance(data, str):
-        encoded = data.encode("utf-8").hex()
+        raw = data.encode("utf-8")
         encoding = "utf-8"
     elif isinstance(data, (bytes, bytearray)):
-        encoded = bytes(data).hex()
+        raw = bytes(data)
         encoding = "bytes"
     else:
         # Array payloads (audio/video/image) travel as raw bytes plus a
         # shape note; numpy is reconstructed on unpack.
         import numpy as np
         array = np.asarray(data)
-        encoded = array.tobytes().hex()
+        raw = array.tobytes()
         encoding = f"ndarray:{array.dtype}:" + ",".join(
             str(dim) for dim in array.shape)
     return {
         "block_id": block.block_id,
         "medium": block.medium.value,
         "encoding": encoding,
-        "data": encoded,
+        "data": _encode_payload(raw, package_version),
         "checksum": block.checksum(),
     }
 
 
-def _block_from_obj(obj: dict) -> DataBlock:
+def _block_from_obj(obj: dict,
+                    package_version: int = PACKAGE_VERSION) -> DataBlock:
     encoding = obj["encoding"]
-    raw = bytes.fromhex(obj["data"])
+    raw = _decode_payload(obj["data"], package_version)
     if encoding == "utf-8":
         payload: object = raw.decode("utf-8")
     elif encoding == "bytes":
@@ -182,12 +220,13 @@ def unpack(package_text: str, *, verify: bool = True) -> UnpackResult:
     body = payload.get("cmif-package")
     if not isinstance(body, dict):
         raise TransportError("not a CMIF package (missing 'cmif-package')")
-    if body.get("version") != PACKAGE_VERSION:
+    version = body.get("version")
+    if version not in SUPPORTED_PACKAGE_VERSIONS:
         raise TransportError(
-            f"unsupported package version {body.get('version')!r}")
+            f"unsupported package version {version!r}")
     document = parse_document(body["document"])
     store = DataStore(name="unpacked")
-    blocks = {block_id: _block_from_obj(obj)
+    blocks = {block_id: _block_from_obj(obj, version)
               for block_id, obj in (body.get("blocks") or {}).items()}
     verified = 0
     if verify:

@@ -165,3 +165,62 @@ class TestPackUnpack:
         from repro.format.parser import parse_document
         document = parse_document(unpacked.read_text())
         assert document.root.name == "evening-news"
+
+
+class TestNegotiateJson:
+    def test_json_verdict_machine_readable(self, news_package_file,
+                                           capsys):
+        assert main(["negotiate", news_package_file,
+                     "--environment", "personal-system", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["environment"] == "personal-system"
+        assert payload["verdict"] == "playable-with-filtering"
+        assert payload["ok"] is True
+        findings = payload["findings"]
+        assert findings
+        assert {"requirement", "needed", "available", "satisfied",
+                "filterable"} <= set(findings[0])
+        unmet = [finding for finding in findings
+                 if not finding["satisfied"]]
+        assert unmet and all(finding["filterable"] for finding in unmet)
+
+    def test_json_exit_code_still_signals_unplayable(
+            self, news_package_file, capsys):
+        assert main(["negotiate", news_package_file,
+                     "--environment", "silent-terminal", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "unplayable"
+        assert payload["ok"] is False
+
+
+class TestServe:
+    def test_serve_generated_corpus(self, tmp_path, capsys):
+        directory = tmp_path / "catalog"
+        assert main(["serve", str(directory), "--generate", "4",
+                     "--events", "12", "--sessions", "2",
+                     "--replays", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "generated 4 package(s)" in out
+        assert "served 4 document(s)" in out
+        for name in ("workstation", "personal-system", "silent-terminal"):
+            assert name in out
+        assert "schedule cache" in out
+
+    def test_serve_environment_subset(self, tmp_path, capsys):
+        directory = tmp_path / "catalog"
+        assert main(["serve", str(directory), "--generate", "3",
+                     "--events", "10",
+                     "--environments", "workstation"]) == 0
+        out = capsys.readouterr().out
+        assert "workstation" in out
+        assert "personal-system" not in out
+
+    def test_serve_unknown_environment_errors(self, tmp_path, capsys):
+        directory = tmp_path / "catalog"
+        assert main(["serve", str(directory), "--generate", "2",
+                     "--environments", "cray"]) == 2
+        assert "unknown environment" in capsys.readouterr().err
+
+    def test_serve_missing_directory_errors(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err

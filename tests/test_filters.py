@@ -31,8 +31,31 @@ def rich_media_document():
 
 
 class TestPlanning:
-    def test_workstation_passes_unfiltered(self, rich_media_document):
+    def test_workstation_needs_no_device_cuts(self, rich_media_document):
+        """The workstation meets every device capability natively; the
+        only planned actions are bandwidth pressure (uncompressed
+        720x576 RGB video overruns even its 10Mbps stream budget),
+        which the plan's projection must then actually satisfy."""
         document, _store = rich_media_document
+        plan = ConstraintFilter(WORKSTATION).plan(document.compile())
+        assert {a.kind for a in plan.actions} <= {
+            FilterKind.SUBSAMPLE_FRAMES, FilterKind.DOWNSAMPLE_AUDIO}
+        assert all("budget" in a.reason for a in plan.actions)
+        assert (plan.environment_plan.projected_bandwidth_bps
+                <= WORKSTATION.bandwidth_bps)
+
+    def test_modest_document_passes_unfiltered(self):
+        """A document inside every workstation capability (including
+        the stream budget) plans no actions at all."""
+        store = DataStore()
+        session = CaptureSession(store=store, seed=5)
+        mapper = StructureMapper.create("doc", store)
+        mapper.channel("video", "video")
+        mapper.scene("scene", {
+            "video": session.capture_video("v", 1000.0, width=120,
+                                           height=90),
+        })
+        document = mapper.finish()
         plan = ConstraintFilter(WORKSTATION).plan(document.compile())
         assert plan.actions == []
 

@@ -166,3 +166,154 @@ class TestExternalsToImmediates:
         externals_to_immediates(corpus.document, corpus.store)
         after = [node.name for node in iter_leaves(corpus.document.root)]
         assert before == after
+
+
+class TestEnvironmentFingerprint:
+    def test_latency_map_is_immutable_and_hashable(self):
+        from repro.transport import LatencyMap
+        latencies = WORKSTATION.start_latency_ms
+        assert isinstance(latencies, LatencyMap)
+        with pytest.raises(TypeError):
+            latencies[Medium.TEXT] = 99.0
+        assert latencies.get(Medium.VIDEO) == 20.0
+        assert hash(latencies) == hash(LatencyMap(dict(latencies)))
+
+    def test_environment_is_hashable_cache_key(self):
+        table = {WORKSTATION: "ws", PERSONAL_SYSTEM: "ps"}
+        assert table[WORKSTATION] == "ws"
+
+    def test_fingerprint_ignores_name_only(self):
+        twin = WORKSTATION.degraded(name="mirror")
+        assert twin.fingerprint() == WORKSTATION.fingerprint()
+        degraded = WORKSTATION.degraded(color_depth=8)
+        assert degraded.fingerprint() != WORKSTATION.fingerprint()
+        slower = WORKSTATION.degraded(
+            start_latency_ms={Medium.VIDEO: 500.0})
+        assert slower.fingerprint() != WORKSTATION.fingerprint()
+
+    def test_fingerprints_distinguish_profiles(self):
+        prints = {profile.fingerprint()
+                  for profile in (WORKSTATION, PERSONAL_SYSTEM,
+                                  SILENT_TERMINAL)}
+        assert len(prints) == 3
+
+
+class TestRequirementsProfile:
+    def test_cache_reuses_profile_per_revision(self, news_corpus):
+        from repro.transport import RequirementsCache
+        cache = RequirementsCache()
+        document = news_corpus.document
+        first = cache.requirements_for(document)
+        second = cache.requirements_for(document)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cache_invalidates_on_revision_bump(self):
+        from repro.corpus import make_media_document
+        from repro.transport import RequirementsCache
+        cache = RequirementsCache()
+        document = make_media_document(4, events=10)
+        first = cache.requirements_for(document)
+        document.bump_revision()
+        second = cache.requirements_for(document)
+        assert first is not second
+        assert second.revision == document.revision
+
+    def test_negotiate_accepts_precomputed_profile(self, news_corpus):
+        from repro.transport import requirements_for
+        profile = requirements_for(news_corpus.document)
+        result = negotiate(news_corpus.document, WORKSTATION,
+                           requirements=profile)
+        assert result.verdict == PLAYABLE
+
+    def test_audio_channel_requirement_negotiated(self):
+        from repro.core.builder import DocumentBuilder
+        from repro.core.descriptors import DataDescriptor
+        from repro.core.timebase import MediaTime
+        builder = DocumentBuilder("stereo-doc")
+        builder.channel("sound", "audio")
+        builder.descriptor("stereo", DataDescriptor(
+            descriptor_id="stereo", medium=Medium.AUDIO, block_id=None,
+            attributes={"duration": MediaTime.ms(1000.0),
+                        "sample-rate": 22050.0, "channels": 2}))
+        builder.ext("clip", file="stereo", channel="sound")
+        document = builder.build(validate=False)
+        result = negotiate(document, PERSONAL_SYSTEM)
+        channel_findings = [finding for finding in result.findings
+                            if finding.requirement == "audio-channels"]
+        assert len(channel_findings) == 1
+        assert not channel_findings[0].satisfied
+        assert channel_findings[0].filterable
+        assert result.verdict == FILTERABLE
+        assert negotiate(document, WORKSTATION).verdict == PLAYABLE
+
+    def test_bandwidth_without_rate_knobs_is_unfilterable(self):
+        """Honesty: a stream budget overrun that no rate subsampling
+        can reduce must reject, not promise filtering."""
+        from repro.core.builder import DocumentBuilder
+        from repro.core.descriptors import DataDescriptor
+        from repro.core.timebase import MediaTime
+        builder = DocumentBuilder("firehose")
+        builder.channel("caption", "text")
+        builder.descriptor("feed", DataDescriptor(
+            descriptor_id="feed", medium=Medium.TEXT, block_id=None,
+            attributes={"duration": MediaTime.ms(1000.0),
+                        "resources": {"bandwidth-bps": 10 ** 9}}))
+        builder.ext("ticker", file="feed", channel="caption")
+        document = builder.build(validate=False)
+        result = negotiate(document, WORKSTATION)
+        bandwidth = next(finding for finding in result.findings
+                         if finding.requirement == "bandwidth")
+        assert not bandwidth.satisfied
+        assert not bandwidth.filterable
+        assert result.verdict == UNPLAYABLE
+
+
+class TestPackageVersions:
+    def test_default_is_v2_base64(self, fragment_corpus):
+        import json
+        package = pack(fragment_corpus.document, fragment_corpus.store,
+                       embed_data=True)
+        body = json.loads(package)["cmif-package"]
+        assert body["version"] == 2
+        sample = next(iter(body["blocks"].values()))["data"]
+        assert not all(char in "0123456789abcdef" for char in sample)
+
+    def test_cross_version_round_trip(self, fragment_corpus):
+        """v1 (hex) and v2 (base64) packages open to identical data."""
+        import json
+        import numpy as np
+        v1 = pack(fragment_corpus.document, fragment_corpus.store,
+                  embed_data=True, package_version=1)
+        v2 = pack(fragment_corpus.document, fragment_corpus.store,
+                  embed_data=True)
+        assert json.loads(v1)["cmif-package"]["version"] == 1
+        assert len(v2) < len(v1)  # ~25% smaller payload encoding
+        result_v1 = unpack(v1)
+        result_v2 = unpack(v2)
+        assert result_v1.embedded_blocks == result_v2.embedded_blocks
+        assert result_v1.verified_checksums == result_v1.embedded_blocks
+        block_v1 = result_v1.store.block_for("story3/voice")
+        block_v2 = result_v2.store.block_for("story3/voice")
+        assert np.array_equal(block_v1.materialize(),
+                              block_v2.materialize())
+
+    def test_unknown_versions_rejected(self, fragment_corpus):
+        import json
+        with pytest.raises(TransportError, match="version"):
+            pack(fragment_corpus.document, package_version=3)
+        package = pack(fragment_corpus.document, fragment_corpus.store)
+        payload = json.loads(package)
+        payload["cmif-package"]["version"] = 99
+        with pytest.raises(TransportError, match="version"):
+            unpack(json.dumps(payload))
+
+    def test_corrupt_base64_payload_detected(self, fragment_corpus):
+        import json
+        package = pack(fragment_corpus.document, fragment_corpus.store,
+                       embed_data=True)
+        payload = json.loads(package)
+        first = next(iter(payload["cmif-package"]["blocks"].values()))
+        first["data"] = "%%" + first["data"][2:]
+        with pytest.raises(TransportError, match="corrupt"):
+            unpack(json.dumps(payload))
