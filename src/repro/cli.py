@@ -210,7 +210,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         written = generate_serving_corpus(directory,
                                           documents=args.generate,
                                           events=args.events,
-                                          seed=args.seed)
+                                          seed=args.seed,
+                                          links=args.links)
         print(f"generated {len(written)} package(s) in {directory}")
     if not directory.is_dir():
         print(f"error: {directory} is not a directory (use --generate N "
@@ -226,8 +227,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     engine = SessionEngine(engine=args.engine, seed=args.seed)
     report = engine.serve(documents, environments,
                           sessions_per_pair=args.sessions,
-                          replays=args.replays)
+                          replays=args.replays,
+                          interactive_per_pair=args.interactive,
+                          follows=args.follows)
     print(report.describe())
+    if args.interactive and engine.last_queue is not None:
+        print(f"  {engine.last_queue.stats().describe()}")
     return 0 if report.admitted else 1
 
 
@@ -469,6 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replays", type=int, default=1,
                        help="replay rounds round-robined across all "
                             "admitted sessions (default 1)")
+    serve.add_argument("--interactive", type=int, default=0, metavar="N",
+                       help="interactive readers per document x "
+                            "environment pair, each with a scripted "
+                            "choice trace, interleaved on the run "
+                            "queue (default 0)")
+    serve.add_argument("--follows", type=int, default=2,
+                       help="link follows per interactive reader's "
+                            "scripted trace (default 2)")
     serve.add_argument("--engine", choices=("graph", "reference"),
                        default="graph",
                        help="cold-path solver for cache misses")
@@ -478,6 +491,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--events", type=int, default=24,
                        help="events per generated document "
                             "(with --generate)")
+    serve.add_argument("--links", type=int, default=0,
+                       help="conditional hyper-links per generated "
+                            "document (with --generate)")
     serve.add_argument("--seed", type=int, default=1991,
                        help="generator and jitter seed")
     serve.set_defaults(handler=cmd_serve)

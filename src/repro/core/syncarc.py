@@ -24,8 +24,9 @@ tolerable delay.  The paper fixes the sign conventions enforced here:
 Arcs "can be placed at the beginning of an event or at the end of the
 event", so the source carries its own anchor.  The section 3.2 discussion
 of hyper-navigation ("conditional synchronization arcs that point to
-events on separate channels") is implemented by :class:`ConditionalArc`,
-flagged experimental in DESIGN.md.
+events on separate channels") is implemented by :class:`ConditionalArc`;
+:mod:`repro.pipeline.navigation` interprets it and
+:mod:`repro.pipeline.navprogram` compiles it for the serving path.
 """
 
 from __future__ import annotations
@@ -195,7 +196,7 @@ class SyncArc:
 
 @dataclass(frozen=True)
 class ConditionalArc(SyncArc):
-    """A hyper-navigation arc (paper section 3.2, experimental).
+    """A hyper-navigation arc (paper section 3.2).
 
     The arc only fires when ``condition`` is satisfied at presentation
     time; the player evaluates conditions against its interaction state

@@ -5,6 +5,7 @@ from repro.corpus.news import (NewsCorpus, add_generic_story,
                                make_news_document, make_paintings_fragment)
 from repro.corpus.generate import (generate_serving_corpus,
                                    make_deep_document, make_flat_document,
+                                   make_linked_document,
                                    make_media_document,
                                    make_random_document)
 from repro.corpus.ingest import (CORPUS_SHAPES, INGEST_STAGES,
@@ -17,7 +18,7 @@ __all__ = [
     "IngestedDocument", "NewsCorpus", "add_generic_story",
     "add_paintings_story", "corpus_paths", "declare_news_channels",
     "generate_corpus", "generate_serving_corpus", "ingest_corpus",
-    "make_deep_document", "make_flat_document", "make_media_document",
-    "make_news_document", "make_paintings_fragment",
-    "make_random_document",
+    "make_deep_document", "make_flat_document", "make_linked_document",
+    "make_media_document", "make_news_document",
+    "make_paintings_fragment", "make_random_document",
 ]

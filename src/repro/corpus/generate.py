@@ -152,6 +152,42 @@ def _add_random_arcs(document: CmifDocument, rng: random.Random,
                 max_delay=MediaTime.ms(rng.uniform(5000.0, 20000.0))))
 
 
+def _add_conditional_links(document: CmifDocument, rng: random.Random,
+                           links: int) -> None:
+    """Attach ``links`` conditional hyper-links between random siblings.
+
+    Each link rides a randomly chosen child of some container and
+    targets a *different* sibling — forward (skip ahead) or backward
+    (replay) — under a unique condition name, so scripted traces
+    address exactly the link they chose.  Conditional arcs are
+    runtime-only: a linked document's static schedule is identical to
+    its unlinked twin's, which keeps linked corpora comparable across
+    every cache level.
+    """
+    from repro.core.nodes import ContainerNode
+    from repro.core.syncarc import ConditionalArc
+    from repro.core.tree import iter_preorder
+
+    containers = [node for node in iter_preorder(document.root)
+                  if isinstance(node, ContainerNode)
+                  and len(node.children) >= 2]
+    if not containers:
+        return
+    for serial in range(links):
+        parent = containers[rng.randrange(len(containers))]
+        children = parent.children
+        source_index = rng.randrange(len(children))
+        target_index = rng.randrange(len(children) - 1)
+        if target_index >= source_index:
+            target_index += 1
+        owner = children[source_index]
+        target = children[target_index]
+        target_ref = (target.name if target.name is not None
+                      else f"#{target_index}")
+        owner.add_arc(ConditionalArc(
+            ".", f"../{target_ref}", condition=f"goto-{serial}"))
+
+
 # -- serving-corpus generation (documents with real media demands) --------
 
 #: Era-plausible capture formats the media generator draws from.
@@ -218,7 +254,8 @@ def _media_descriptor(rng: random.Random, descriptor_id: str,
 
 
 def make_media_document(seed: int, *, events: int = 24,
-                        rich: bool | None = None) -> CmifDocument:
+                        rich: bool | None = None,
+                        links: int = 0) -> CmifDocument:
     """A seeded random document whose leaves carry media descriptors.
 
     ``rich`` documents mix all four media (audio/video material rejects
@@ -226,7 +263,10 @@ def make_media_document(seed: int, *, events: int = 24,
     image/text and play almost anywhere.  When None, the seed decides —
     a corpus of consecutive seeds covers every negotiation verdict on
     the era profiles.  Arcs are added with the same generator the
-    random corpus uses, so schedules have audit material.
+    random corpus uses, so schedules have audit material.  ``links``
+    adds that many conditional hyper-links between siblings (drawn
+    after everything else, so ``links=0`` documents are bit-identical
+    to what earlier generators produced).
     """
     rng = random.Random(seed)
     if rich is None:
@@ -270,19 +310,32 @@ def make_media_document(seed: int, *, events: int = 24,
     grow(0)
     document = builder.build(validate=False)
     _add_random_arcs(document, rng, arc_fraction=0.2)
+    if links > 0:
+        _add_conditional_links(document, rng, links)
     return document
 
 
+def make_linked_document(seed: int, *, events: int = 24,
+                         links: int = 4,
+                         rich: bool | None = None) -> CmifDocument:
+    """A media document with conditional hyper-links: the interactive
+    serving workload (navigation tests, run-queue drives, the
+    navigation bench)."""
+    return make_media_document(seed, events=events, rich=rich,
+                               links=links)
+
+
 def generate_serving_corpus(directory, *, documents: int = 12,
-                            events: int = 24, seed: int = 1991
-                            ) -> list:
+                            events: int = 24, seed: int = 1991,
+                            links: int = 0) -> list:
     """Write a mixed serving corpus of transport *packages*.
 
     Descriptors only travel in packages (the bare text form is
     structure-only), and the serving engine negotiates on descriptors —
     so unlike :func:`generate_corpus`'s text files, this corpus is
-    written with :func:`repro.transport.package.pack`.  Returns the
-    written paths in serve order.
+    written with :func:`repro.transport.package.pack`.  ``links`` adds
+    conditional hyper-links per document (the interactive workload).
+    Returns the written paths in serve order.
     """
     from pathlib import Path
 
@@ -292,7 +345,8 @@ def generate_serving_corpus(directory, *, documents: int = 12,
     directory.mkdir(parents=True, exist_ok=True)
     written = []
     for index in range(documents):
-        document = make_media_document(seed + index, events=events)
+        document = make_media_document(seed + index, events=events,
+                                       links=links)
         path = directory / f"{index:03d}-media.cmifpkg"
         path.write_text(pack(document), encoding="utf-8")
         written.append(path)

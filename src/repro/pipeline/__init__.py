@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.document import CmifDocument
 from repro.pipeline.adaptation import (AdaptationProgram, adapt_document,
+                                       adapted_navigation_for,
                                        adapted_program_for,
                                        compile_adaptation)
 from repro.pipeline.capture import Captured, CaptureSession
@@ -29,7 +30,11 @@ from repro.pipeline.filters import (ConstraintFilter, FilterAction,
                                     adapt_attributes, apply_action)
 from repro.pipeline.mapping import StructureMapper
 from repro.pipeline.navigation import (Jump, Link, NavigationSession,
-                                       collect_links)
+                                       collect_links, segments_cover)
+from repro.pipeline.navprogram import (Choice, CompiledNavigationSession,
+                                       NavigationProgram,
+                                       compile_navigation, navigation_for,
+                                       random_trace)
 from repro.pipeline.player import (ArcAudit, PlaybackReport, PlayedEvent,
                                    Player)
 from repro.pipeline.presentation import (PresentationMap,
@@ -80,15 +85,17 @@ def run_pipeline(document: CmifDocument,
 
 __all__ = [
     "AdaptationProgram", "ArcAudit", "BatchPlayer", "Captured",
-    "CaptureSession", "CompactReport", "ConstraintFilter", "FilterAction",
-    "FilterKind", "FilterPlan", "Jump", "Link", "NavigationSession",
-    "PipelineRun", "PlaybackProgram", "PlaybackReport", "PlayedEvent",
-    "Player", "PresentationMap", "PresentationMapper", "ProgramCache",
-    "Region", "SpeakerAssignment", "StructureMapper", "SweepCell",
-    "collect_links", "VIRTUAL_HEIGHT", "VIRTUAL_WIDTH",
-    "adapt_attributes", "adapt_document", "adapted_program_for",
-    "apply_action", "compile_adaptation", "compile_program",
-    "render_arc_table", "render_embedded", "render_screen",
-    "render_summary", "render_sweep", "render_timeline", "render_tree",
-    "run_pipeline",
+    "CaptureSession", "Choice", "CompactReport",
+    "CompiledNavigationSession", "ConstraintFilter", "FilterAction",
+    "FilterKind", "FilterPlan", "Jump", "Link", "NavigationProgram",
+    "NavigationSession", "PipelineRun", "PlaybackProgram",
+    "PlaybackReport", "PlayedEvent", "Player", "PresentationMap",
+    "PresentationMapper", "ProgramCache", "Region", "SpeakerAssignment",
+    "StructureMapper", "SweepCell", "collect_links", "VIRTUAL_HEIGHT",
+    "VIRTUAL_WIDTH", "adapt_attributes", "adapt_document",
+    "adapted_navigation_for", "adapted_program_for", "apply_action",
+    "compile_adaptation", "compile_navigation", "compile_program",
+    "navigation_for", "random_trace", "render_arc_table",
+    "render_embedded", "render_screen", "render_summary", "render_sweep",
+    "render_timeline", "render_tree", "run_pipeline", "segments_cover",
 ]

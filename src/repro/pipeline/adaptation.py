@@ -225,6 +225,24 @@ def adapt_document(document: CmifDocument, plan: FilterPlan,
                               environment).adapt_document(document)
 
 
+def adapted_navigation_for(schedule: Schedule,
+                           environment: SystemEnvironment | None = None,
+                           *, program_cache: ProgramCache | None = None):
+    """The navigation program serving an environment-adapted session.
+
+    Adaptation is timing-invariant: per-descriptor filtering rewrites
+    attributes, never event begin/end times, and links derive from the
+    schedule's solved times alone — so every environment of a document
+    shares one compiled
+    :class:`~repro.pipeline.navprogram.NavigationProgram`, exactly as
+    specialized playback programs share the base program's arrays.
+    This function makes that sharing explicit at the engine's admission
+    site (and keeps a seam should an adaptation kind ever move times).
+    """
+    from repro.pipeline.navprogram import navigation_for
+    return navigation_for(schedule, program_cache=program_cache)
+
+
 def adapted_program_for(schedule: Schedule,
                         environment: SystemEnvironment, *,
                         program_cache: ProgramCache | None = None,

@@ -5,7 +5,10 @@ the concepts of document presentation synchronization. ... we suspect
 that this general problem can be addressed via the definition of
 conditional synchronization arcs that point to events on separate
 channels" — the paper leaves the idea as future work; this module
-implements it, flagged experimental in DESIGN.md.
+implements it.  :class:`NavigationSession` is the interpretive
+reference; :mod:`repro.pipeline.navprogram` lowers it into precompiled
+link/invalidation tables for the serving path, pinned bit-identical to
+this implementation.
 
 A :class:`ConditionalArc` carries a named condition.  During an
 interactive session (:class:`NavigationSession`), firing a condition at
@@ -58,6 +61,29 @@ class Jump:
     from_ms: float
     to_ms: float
     invalidated: list[ConflictReport] = field(default_factory=list)
+
+
+def segments_cover(segments: list[tuple[float, float]],
+                   begin_ms: float, end_ms: float) -> bool:
+    """True when ``[begin_ms, end_ms]`` lies inside the segment union.
+
+    Watched segments may overlap (a backward jump re-watches part of an
+    earlier pass), so coverage must be judged against *merged* runs: an
+    interval counts as watched when one contiguous union of segments
+    spans it, even if no single segment does.  Both the interpretive
+    session and the compiled one judge arc validity through this
+    helper, so their reports cannot drift.
+    """
+    run_start = 0.0
+    covered_until: float | None = None
+    for start, end in sorted(segments):
+        if covered_until is None or start > covered_until + 1e-9:
+            run_start, covered_until = start, end
+        elif end > covered_until:
+            covered_until = end
+        if begin_ms >= run_start - 1e-9 and end_ms <= covered_until + 1e-9:
+            return True
+    return False
 
 
 def collect_links(schedule: Schedule) -> list[Link]:
@@ -172,21 +198,9 @@ class NavigationSession:
         The current open segment counts as watched up to the present
         position.
         """
-        segments = self._played + [(self._segment_start,
-                                    self.position_ms)]
-        # Merge and test coverage; segments are few (one per jump).
-        segments.sort()
-        covered_until = None
-        for start, end in segments:
-            if covered_until is None or start > covered_until + 1e-9:
-                covered_until = end if start <= begin_ms + 1e-9 else None
-                if covered_until is None:
-                    continue
-            else:
-                covered_until = max(covered_until, end)
-            if begin_ms >= start - 1e-9 and end_ms <= covered_until + 1e-9:
-                return True
-        return False
+        return segments_cover(
+            self._played + [(self._segment_start, self.position_ms)],
+            begin_ms, end_ms)
 
     def _session_invalid_arcs(self) -> list[ConflictReport]:
         """Class-3 analysis against the session's watched intervals.

@@ -484,6 +484,33 @@ class ProgramCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def get_derived(self, schedule: Schedule, tag: str):
+        """A derived compiled artifact keyed by (schedule, revision, tag).
+
+        Navigation programs (and any future schedule-derived compile
+        product) ride in the same table as playback programs: a tag
+        slot distinguishes them from environment fingerprints, the
+        schedule is pinned identically, and a document edit (revision
+        bump) invalidates the whole pyramid level in one move.
+        """
+        key = (id(schedule), schedule.compiled.document.revision,
+               ("derived", tag))
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[1]
+
+    def put_derived(self, schedule: Schedule, tag: str, value) -> None:
+        key = (id(schedule), schedule.compiled.document.revision,
+               ("derived", tag))
+        self._entries[key] = (schedule, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
     def program_for(self, schedule: Schedule) -> PlaybackProgram:
         """The schedule's base (environment-free) program, compiled at
         most once.  Environment-specialized programs go through
@@ -842,6 +869,22 @@ class BatchPlayer:
             entry = (environment, plan)
             _cache_put(self._plans, key, entry)
         return entry[1]
+
+    def prime_seek(self, seek_to_ms: float, *, rate: float = 1.0,
+                   environment: SystemEnvironment | None = None) -> None:
+        """Precompute one seek destination's run state (cache warming).
+
+        After this, a ``run_one(seek_to_ms=...)`` for the destination
+        is a pure O(1) swap to the cached :class:`RunPlan` plus the
+        per-run array loop — the navigation layer warms every link
+        target of a document this way, so following a link never pays
+        plan or class-3 analysis work on the interactive path.
+        """
+        env = environment if environment is not None else self.environment
+        transform_key, tb, te = self._transformed(rate, None, 0.0)
+        if seek_to_ms > 0:
+            self._navigation(transform_key, tb, te, seek_to_ms)
+        self._plan_for(transform_key, tb, te, seek_to_ms, env)
 
     # -- entry points ------------------------------------------------------
 

@@ -9,9 +9,16 @@ adaptation caches.  See :mod:`repro.serving.engine` for the layer map.
 
 from repro.serving.engine import (EnvironmentStats, PLAYER_CACHE_CAPACITY,
                                   ServingReport, SessionEngine)
+from repro.serving.runqueue import (BLOCKED_ON_CHOICE, BatchTask, DONE,
+                                    InteractiveSession, QueueStats,
+                                    RUNNING, RunQueue, SEEKING,
+                                    SESSION_STATES, ScriptedChoices)
 from repro.serving.session import SESSION_SEED_STRIDE, Session
 
 __all__ = [
-    "EnvironmentStats", "PLAYER_CACHE_CAPACITY", "SESSION_SEED_STRIDE",
-    "ServingReport", "Session", "SessionEngine",
+    "BLOCKED_ON_CHOICE", "BatchTask", "DONE", "EnvironmentStats",
+    "InteractiveSession", "PLAYER_CACHE_CAPACITY", "QueueStats",
+    "RUNNING", "RunQueue", "SEEKING", "SESSION_SEED_STRIDE",
+    "SESSION_STATES", "ScriptedChoices", "ServingReport", "Session",
+    "SessionEngine",
 ]

@@ -33,12 +33,15 @@ admission and traffic statistics make the engine observable
 from __future__ import annotations
 
 import collections
+import random
 import time
 from dataclasses import dataclass, field
 
 from repro.core.document import CmifDocument
 from repro.core.errors import ValueError_
-from repro.pipeline.adaptation import adapted_program_for
+from repro.pipeline.adaptation import (adapted_navigation_for,
+                                       adapted_program_for)
+from repro.pipeline.navprogram import random_trace
 from repro.pipeline.program import BatchPlayer, PlaybackProgram, \
     ProgramCache
 from repro.timing.schedule import (ENGINE_GRAPH, SCHEDULE_ENGINES,
@@ -46,6 +49,8 @@ from repro.timing.schedule import (ENGINE_GRAPH, SCHEDULE_ENGINES,
 from repro.transport.environments import SystemEnvironment
 from repro.transport.negotiate import negotiate
 from repro.transport.requirements import RequirementsCache
+from repro.serving.runqueue import (BatchTask, InteractiveSession,
+                                    RunQueue, ScriptedChoices)
 from repro.serving.session import (FILTERABLE, PLAYABLE,
                                    SESSION_SEED_STRIDE, Session,
                                    UNPLAYABLE)
@@ -66,6 +71,7 @@ class EnvironmentStats:
     rejected: int = 0
     replays: int = 0
     events_played: int = 0
+    navigations: int = 0
     admit_seconds: float = 0.0
     replay_seconds: float = 0.0
 
@@ -84,12 +90,14 @@ class EnvironmentStats:
                        if self.replay_seconds > 0 else 0.0)
         events_rate = (self.events_played / self.replay_seconds
                        if self.replay_seconds > 0 else 0.0)
+        navigation = (f", {self.navigations} jumps"
+                      if self.navigations else "")
         return (f"{self.name:<16} {self.sessions:5d} sessions "
                 f"({self.playable} playable / {self.filtered} filtered / "
                 f"{self.rejected} rejected)  "
                 f"{admission_rate:8.1f} admits/s  "
                 f"{self.replays:6d} replays ({replay_rate:8.1f}/s, "
-                f"{events_rate:10.0f} events/s)")
+                f"{events_rate:10.0f} events/s{navigation})")
 
 
     def snapshot(self) -> "EnvironmentStats":
@@ -109,6 +117,7 @@ class EnvironmentStats:
             rejected=self.rejected - before.rejected,
             replays=self.replays - before.replays,
             events_played=self.events_played - before.events_played,
+            navigations=self.navigations - before.navigations,
             admit_seconds=self.admit_seconds - before.admit_seconds,
             replay_seconds=self.replay_seconds - before.replay_seconds)
 
@@ -149,16 +158,22 @@ class ServingReport:
         return sum(stats.events_played for stats in self.environments)
 
     @property
+    def navigations(self) -> int:
+        return sum(stats.navigations for stats in self.environments)
+
+    @property
     def sessions_per_second(self) -> float:
         if self.wall_seconds <= 0:
             return 0.0
         return self.sessions / self.wall_seconds
 
     def describe(self) -> str:
+        navigation = (f", {self.navigations} navigation(s)"
+                      if self.navigations else "")
         lines = [f"served {self.documents} document(s): {self.sessions} "
                  f"session(s), {self.admitted} admitted, "
                  f"{self.rejected} rejected, {self.replays} replay(s), "
-                 f"{self.events_played} event(s) in "
+                 f"{self.events_played} event(s){navigation} in "
                  f"{self.wall_seconds * 1000:.1f}ms "
                  f"({self.sessions_per_second:.1f} sessions/s)"]
         lines.extend(f"  {stats.describe()}"
@@ -196,6 +211,8 @@ class SessionEngine:
             else RequirementsCache(capacity=schedule_capacity))
         self.stats: dict[str, EnvironmentStats] = {}
         self.session_count = 0
+        #: The most recent drive's run queue (scheduler observability).
+        self.last_queue: RunQueue | None = None
         #: (id(program), environment fingerprint) -> (program, player);
         #: pinning the program keeps id() reuse impossible.
         self._players: collections.OrderedDict[
@@ -271,6 +288,39 @@ class SessionEngine:
         stats.admit_seconds += time.perf_counter() - start
         return session
 
+    def admit_interactive(self, document: CmifDocument,
+                          environment: SystemEnvironment, *,
+                          trace=None, follows: int = 2,
+                          rate: float = 1.0) -> InteractiveSession:
+        """Admit one interactive reader with a scripted choice trace.
+
+        On top of :meth:`admit`, the document's compiled navigation
+        program is fetched (shared per document revision across every
+        environment — adaptation never moves event times) and the
+        session's batch player is warmed with every link destination's
+        seek plan, so each follow during the drive is an O(1) program
+        swap + array seek.  ``trace`` scripts the reader's choices;
+        when None, a deterministic trace is drawn from the session's
+        own seed (``follows`` jumps at most).  Rejected sessions come
+        back DONE and never enter the rotation.
+        """
+        session = self.admit(document, environment)
+        if not session.admitted:
+            return InteractiveSession(session, None, ())
+        stats = self.stats_for(environment)
+        start = time.perf_counter()
+        navigation = adapted_navigation_for(
+            session.schedule, environment,
+            program_cache=self.program_cache)
+        navigator = navigation.session()
+        if trace is None:
+            trace = random_trace(session.schedule,
+                                 random.Random(session.seed),
+                                 follows=follows, program=navigation)
+        navigation.warm(session.player, rate=rate)
+        stats.admit_seconds += time.perf_counter() - start
+        return InteractiveSession(session, navigator, trace, rate=rate)
+
     # -- replay -------------------------------------------------------------
 
     def play(self, session: Session, replays: int = 1, *,
@@ -286,37 +336,56 @@ class SessionEngine:
         return events
 
     def drive(self, sessions, replays: int = 1, *, rate: float = 1.0,
-              seek_to_ms: float = 0.0) -> int:
-        """Interleave ``replays`` rounds across many concurrent sessions.
+              seek_to_ms: float = 0.0,
+              choices: ScriptedChoices | None = None) -> int:
+        """Interleave mixed batch + interactive sessions, run-queue style.
 
-        Round-robin, one replay per session per round — the multi-tenant
-        schedule, exercising every shared cache between tenants rather
-        than draining one session at a time.  Returns replays performed.
+        ``sessions`` may mix plain :class:`Session` objects (wrapped as
+        ``replays``-round batch tasks), :class:`InteractiveSession`
+        readers from :meth:`admit_interactive`, and prebuilt
+        :class:`BatchTask` items.  The queue is FIFO round-robin — one
+        quantum (replay, segment or link follow) per turn, a stepped
+        task re-entering at the tail — so plain batch workloads keep
+        the exact one-replay-per-session-per-round schedule (and the
+        exact reports) of earlier engines, while a reader pausing on a
+        choice blocks only their own session.  Returns replays
+        performed (an interactive segment counts as one replay); the
+        full scheduler accounting stays on :attr:`last_queue`.
         """
-        admitted = [session for session in sessions if session.admitted]
-        performed = 0
-        by_stats: collections.Counter = collections.Counter()
+        tasks = []
+        for item in sessions:
+            if isinstance(item, (InteractiveSession, BatchTask)):
+                if item.session.admitted:
+                    tasks.append(item)
+            elif item.admitted:
+                tasks.append(BatchTask(item, replays, rate=rate,
+                                       seek_to_ms=seek_to_ms))
+        queue = RunQueue(tasks, choices=(choices if choices is not None
+                                         else ScriptedChoices()))
         start = time.perf_counter()
-        for _ in range(replays):
-            for session in admitted:
-                session.play(rate=rate, seek_to_ms=seek_to_ms)
-                performed += 1
-                by_stats[id(session.stats)] += 1
+        queue.drive()
         elapsed = time.perf_counter() - start
+        performed = queue.replays
         # Wall time attributed proportionally to each environment's share.
         if performed:
-            for session in admitted:
-                stats = session.stats
-                share = by_stats.pop(id(stats), 0)
-                if share and stats is not None:
-                    stats.replay_seconds += elapsed * share / performed
+            shares: collections.Counter = collections.Counter()
+            rows: dict[int, EnvironmentStats] = {}
+            for task in tasks:
+                stats = task.session.stats
+                if stats is not None and task.replays_done:
+                    shares[id(stats)] += task.replays_done
+                    rows[id(stats)] = stats
+            for key, share in shares.items():
+                rows[key].replay_seconds += elapsed * share / performed
+        self.last_queue = queue
         return performed
 
     # -- corpus serving ------------------------------------------------------
 
     def serve(self, documents, environments, *,
               sessions_per_pair: int = 1, replays: int = 1,
-              rate: float = 1.0, seek_to_ms: float = 0.0
+              rate: float = 1.0, seek_to_ms: float = 0.0,
+              interactive_per_pair: int = 0, follows: int = 2
               ) -> ServingReport:
         """Admit and drive a whole corpus against environment profiles.
 
@@ -324,21 +393,32 @@ class SessionEngine:
         ``sessions_per_pair`` opens that many tenant sessions per
         (document, environment) pair, and ``replays`` rounds are
         round-robined across every admitted session.
+        ``interactive_per_pair`` adds that many interactive readers per
+        pair, each with a seed-derived scripted trace of up to
+        ``follows`` link follows, interleaved with the batch traffic on
+        the run queue.
         """
         if sessions_per_pair < 1:
             raise ValueError_("sessions_per_pair must be at least 1, "
                               f"got {sessions_per_pair}")
+        if interactive_per_pair < 0:
+            raise ValueError_("interactive_per_pair cannot be negative, "
+                              f"got {interactive_per_pair}")
         documents = list(documents)
         environments = list(environments)
         before = {name: stats.snapshot()
                   for name, stats in self.stats.items()}
         wall_start = time.perf_counter()
-        sessions: list[Session] = []
+        sessions: list = []
         for document in documents:
             for environment in environments:
                 for _ in range(sessions_per_pair):
                     sessions.append(self.admit(document, environment))
-        if replays > 0:
+                for _ in range(interactive_per_pair):
+                    sessions.append(self.admit_interactive(
+                        document, environment, follows=follows,
+                        rate=rate))
+        if replays > 0 or interactive_per_pair > 0:
             self.drive(sessions, replays, rate=rate,
                        seek_to_ms=seek_to_ms)
         wall_seconds = time.perf_counter() - wall_start

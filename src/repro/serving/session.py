@@ -48,6 +48,8 @@ class Session:
     stats: "object | None" = field(default=None, repr=False)
     replays_run: int = 0
     events_played: int = 0
+    #: Link follows taken by this session's reader (interactive only).
+    navigations: int = 0
 
     @property
     def verdict(self) -> str:
@@ -98,9 +100,11 @@ class Session:
     def describe(self) -> str:
         state = self.verdict if not self.adapted \
             else f"{self.verdict} (adapted)"
+        suffix = (f", {self.navigations} navigation(s)"
+                  if self.navigations else "")
         return (f"session {self.session_id} on {self.environment.name}: "
                 f"{state}, {self.replays_run} replay(s), "
-                f"{self.events_played} event(s)")
+                f"{self.events_played} event(s){suffix}")
 
 
 __all__ = ["FILTERABLE", "PLAYABLE", "SESSION_SEED_STRIDE", "Session",

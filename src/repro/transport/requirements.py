@@ -37,7 +37,7 @@ from functools import cached_property
 from repro.core.channels import Medium
 from repro.core.document import CmifDocument
 from repro.core.errors import SyncArcError, ValueError_
-from repro.core.syncarc import Strictness
+from repro.core.syncarc import ConditionalArc, Strictness
 from repro.core.tree import iter_preorder
 from repro.transport.environments import SystemEnvironment
 
@@ -403,6 +403,8 @@ def _tightest_must_window(document: CmifDocument) -> float | None:
     tightest: float | None = None
     for node in iter_preorder(document.root):
         for arc in node.arcs:
+            if isinstance(arc, ConditionalArc):
+                continue
             if arc.strictness is not Strictness.MUST:
                 continue
             try:

@@ -224,3 +224,19 @@ class TestServe:
     def test_serve_missing_directory_errors(self, tmp_path, capsys):
         assert main(["serve", str(tmp_path / "nope")]) == 2
         assert "not a directory" in capsys.readouterr().err
+
+    def test_serve_interactive_readers(self, tmp_path, capsys):
+        directory = tmp_path / "catalog"
+        assert main(["serve", str(directory), "--generate", "3",
+                     "--events", "14", "--links", "3",
+                     "--sessions", "1", "--replays", "2",
+                     "--interactive", "2", "--follows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "navigation(s)" in out
+        assert "run queue" in out
+        assert "jumps" in out
+
+    def test_serve_interactive_rejects_negative(self, tmp_path, capsys):
+        directory = tmp_path / "catalog"
+        assert main(["serve", str(directory), "--generate", "2",
+                     "--interactive", "-1"]) == 2

@@ -111,3 +111,100 @@ class TestSession:
         session.follow("pick-chapter-2")
         assert [jump.condition for jump in session.history] == [
             "pick-chapter-1", "pick-chapter-2"]
+
+class TestSegmentsCover:
+    """The merged-run coverage primitive both session flavors share."""
+
+    def test_single_segment(self):
+        from repro.pipeline.navigation import segments_cover
+        assert segments_cover([(0.0, 4.0)], 1.0, 3.0)
+        assert not segments_cover([(0.0, 4.0)], 1.0, 5.0)
+
+    def test_overlapping_segments_merge_into_one_run(self):
+        from repro.pipeline.navigation import segments_cover
+        # Neither segment alone spans [1, 5]; their union does.
+        assert segments_cover([(0.0, 4.0), (2.0, 6.0)], 1.0, 5.0)
+
+    def test_gap_breaks_the_run(self):
+        from repro.pipeline.navigation import segments_cover
+        assert not segments_cover([(0.0, 4.0), (4.5, 6.0)], 1.0, 5.0)
+
+    def test_adjacent_segments_chain(self):
+        from repro.pipeline.navigation import segments_cover
+        assert segments_cover([(0.0, 2.0), (2.0, 5.0)], 1.0, 4.0)
+
+    def test_empty(self):
+        from repro.pipeline.navigation import segments_cover
+        assert not segments_cover([], 0.0, 1.0)
+
+
+class TestRewatchAfterBackwardJump:
+    """Regression: watched intervals must merge across backward jumps.
+
+    A reader who jumps backwards re-watches part of an earlier pass;
+    the arc-validity walk then judges sources against *overlapping*
+    segments.  The old containment check anchored each test to the
+    current segment's start, so a source spanning two overlapping
+    passes was wrongly reported never-presented.
+
+    (The interactive session does not use the linear-play
+    ``invalid_arcs_after_seek`` helper at all — seek replays on the
+    serving path do, and that analysis is per-seek, stateless, and was
+    never affected.  The session-side bug lived only in the watched-
+    interval merge exercised here.)
+    """
+
+    def build(self):
+        from repro.core.timebase import MediaTime
+        builder = DocumentBuilder("rewatch")
+        builder.channel("v", "video")
+        with builder.seq("body", channel="v"):
+            builder.imm("a", data="a", duration=1000)
+            b = builder.imm("b", data="b", duration=4000)
+            c = builder.imm("c", data="c", duration=3000)
+            tail = builder.imm("tail", data="t", duration=2000)
+        document = builder.build()
+        # A must arc whose source is 'b' (spans 1000..5000).
+        builder.arc(tail, source="../b", destination=".",
+                    src_anchor="end", max_delay=None)
+        # 'again' jumps backwards into b's middle (begin + 1000ms).
+        b.add_arc(ConditionalArc(".", ".", condition="again",
+                                 offset=MediaTime.ms(1000)))
+        c.add_arc(ConditionalArc(".", "../tail", condition="skip"))
+        return schedule_document(document.compile())
+
+    def test_source_watched_across_two_passes_stays_valid(self):
+        schedule = self.build()
+        session = NavigationSession(schedule)
+        session.advance_to(3000.0)
+        back = session.follow("again")
+        assert back.to_ms == 2000.0
+        session.advance_to(5500.0)
+        forward = session.follow("skip")
+        # b was watched as [1000, 3000] then [2000, 5500]: fully
+        # presented across the two overlapping passes, so the arc out
+        # of it must NOT be invalidated.
+        assert forward.invalidated == []
+
+    def test_compiled_session_agrees(self):
+        from repro.pipeline.navprogram import compile_navigation
+        schedule = self.build()
+        session = compile_navigation(schedule).session()
+        session.advance_to(3000.0)
+        session.follow("again")
+        session.advance_to(5500.0)
+        assert session.follow("skip").invalidated == []
+
+    def test_unwatched_source_still_reported(self):
+        """Control: a genuine gap over the source still invalidates."""
+        schedule = self.build()
+        session = NavigationSession(schedule)
+        session.advance_to(1500.0)
+        back = session.follow("again")
+        assert back.to_ms == 2000.0
+        session.advance_to(5500.0)
+        forward = session.follow("skip")
+        # b was watched as [1000, 1500] and [2000, 5500]: the gap
+        # (1500, 2000) means it never fully presented.
+        assert [report.conflict_class for report in forward.invalidated] \
+            == ["navigation"]

@@ -1,0 +1,233 @@
+"""Scheduler invariants for the serving run queue.
+
+Four properties pin the scheduler's semantics:
+
+* **No starvation** — FIFO re-entry is structurally fair: between two
+  quanta of any task, every other runnable task gets exactly one, so
+  step counts across live tasks never spread by more than one.
+* **Blocking is local** — a session at a choice point never advances
+  without input, and never stalls anyone else.
+* **Interleaving invariance** — per-session results (segment reports,
+  jumps, event counts) are identical whether a session runs alone or
+  interleaved with arbitrary other traffic, because each session draws
+  jitter from its own seeded stream.
+* **Determinism** — a fixed choice-source RNG makes the whole drive
+  (step log included) reproducible.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import NavigationError
+from repro.corpus.generate import make_linked_document, \
+    make_media_document
+from repro.serving import (BLOCKED_ON_CHOICE, BatchTask, DONE,
+                           RUNNING, RunQueue, ScriptedChoices,
+                           SessionEngine)
+from repro.transport.environments import PERSONAL_SYSTEM, WORKSTATION
+
+
+def capture_plays(session):
+    """Record every report a session's play() returns, in order."""
+    reports = []
+    original = session.play
+
+    def wrapped(**kwargs):
+        report = original(**kwargs)
+        reports.append(report)
+        return report
+
+    session.play = wrapped
+    return reports
+
+
+class TestFairness:
+    def test_unequal_batch_tasks_all_finish(self):
+        engine = SessionEngine(seed=11)
+        tasks = []
+        for serial, replays in enumerate((1, 4, 2, 7, 3)):
+            document = make_media_document(serial, events=10)
+            session = engine.admit(document, WORKSTATION)
+            assert session.admitted
+            tasks.append(BatchTask(session, replays))
+        queue = RunQueue(tasks)
+        stats = queue.drive()
+        assert stats.replays == 1 + 4 + 2 + 7 + 3
+        assert stats.finished == len(tasks)
+        assert all(task.state == DONE for task in tasks)
+
+    def test_round_robin_spread_never_exceeds_one(self):
+        """While N tasks are live, their step counts differ by <= 1."""
+        engine = SessionEngine(seed=11)
+        tasks = []
+        for serial, replays in enumerate((2, 6, 3, 5)):
+            document = make_media_document(serial, events=10)
+            tasks.append(BatchTask(engine.admit(document, WORKSTATION),
+                                   replays))
+        queue = RunQueue(tasks)
+        queue.drive()
+        counts = {task.session_id: 0 for task in tasks}
+        alive = set(counts)
+        for session_id, state in queue.log:
+            counts[session_id] += 1
+            live_counts = [counts[sid] for sid in alive]
+            assert counts[session_id] - min(live_counts) <= 1
+            if state == DONE:
+                alive.discard(session_id)
+        assert not alive
+
+
+class TestBlocking:
+    def make_blocked_queue(self):
+        engine = SessionEngine(seed=3)
+        document = make_linked_document(0, events=16, links=4)
+        task = engine.admit_interactive(document, WORKSTATION, follows=2)
+        assert task.trace, "seed must yield at least one choice point"
+        # No choice source: the scheduler cannot answer for the reader.
+        queue = RunQueue([task], choices=None)
+        return queue, task
+
+    def test_blocked_task_parks_without_choice_source(self):
+        queue, task = self.make_blocked_queue()
+        stats = queue.drive()
+        assert task.state == BLOCKED_ON_CHOICE
+        assert task in queue.parked
+        assert stats.blocked == 1
+        assert stats.finished == 0
+        assert task.replays_done == 1  # played up to the choice point
+
+    def test_blocked_task_never_advances_without_input(self):
+        queue, task = self.make_blocked_queue()
+        queue.drive()
+        position = task.position_ms
+        reports = len(task.reports)
+        for _ in range(3):
+            queue.drive()
+        assert task.state == BLOCKED_ON_CHOICE
+        assert task.position_ms == position
+        assert len(task.reports) == reports
+        assert task.jumps == []
+
+    def test_step_is_noop_while_blocked(self):
+        queue, task = self.make_blocked_queue()
+        queue.drive()
+        assert task.step() == BLOCKED_ON_CHOICE
+        assert len(task.reports) == 1
+
+    def test_provide_revives_parked_task(self):
+        queue, task = self.make_blocked_queue()
+        queue.drive()
+        queue.provide(task, task.trace[task.cursor].condition)
+        stats = queue.drive()
+        assert task.state in (BLOCKED_ON_CHOICE, DONE)
+        assert len(task.jumps) == 1
+        assert stats.navigations == 1
+
+    def test_choose_outside_choice_point_raises(self):
+        queue, task = self.make_blocked_queue()
+        assert task.state == RUNNING
+        with pytest.raises(NavigationError, match="not awaiting"):
+            task.choose("x")
+        queue.drive()
+        task.choose(task.trace[task.cursor].condition)
+        with pytest.raises(NavigationError, match="not awaiting"):
+            task.choose("again")
+
+
+class TestInterleavingInvariance:
+    def admit_all(self, engine):
+        """The same mixed workload, admitted in a fixed order."""
+        interactive, batch = [], []
+        for serial in range(3):
+            linked = make_linked_document(serial, events=16, links=4)
+            plain = make_media_document(serial, events=12)
+            for environment in (WORKSTATION, PERSONAL_SYSTEM):
+                interactive.append(engine.admit_interactive(
+                    linked, environment, follows=3))
+                batch.append(engine.admit(plain, environment))
+        return interactive, batch
+
+    def test_interleaved_equals_solo(self):
+        mixed_engine = SessionEngine(seed=21)
+        solo_engine = SessionEngine(seed=21)
+        mixed_interactive, mixed_batch = self.admit_all(mixed_engine)
+        solo_interactive, solo_batch = self.admit_all(solo_engine)
+        mixed_reports = [capture_plays(session)
+                         for session in mixed_batch]
+        solo_reports = [capture_plays(session) for session in solo_batch]
+
+        mixed_engine.drive(mixed_interactive + mixed_batch, replays=3)
+        for task in solo_interactive:
+            solo_engine.drive([task])
+        for session in solo_batch:
+            solo_engine.drive([session], replays=3)
+
+        for mixed, solo in zip(mixed_interactive, solo_interactive):
+            assert mixed.session_id == solo.session_id
+            assert mixed.jumps == solo.jumps
+            assert ([report.materialize() for report in mixed.reports]
+                    == [report.materialize() for report in solo.reports])
+        for mixed, solo in zip(mixed_reports, solo_reports):
+            assert ([report.materialize() for report in mixed]
+                    == [report.materialize() for report in solo])
+
+
+class TestDeterminism:
+    def run_once(self):
+        engine = SessionEngine(seed=9)
+        tasks = []
+        for serial in range(3):
+            linked = make_linked_document(serial, events=16, links=4)
+            tasks.append(engine.admit_interactive(linked, WORKSTATION,
+                                                  follows=3))
+            plain = make_media_document(serial, events=12)
+            tasks.append(BatchTask(engine.admit(plain, WORKSTATION), 2))
+        queue = RunQueue(tasks, choices=ScriptedChoices(
+            rng=random.Random(7), max_delay_steps=3))
+        stats = queue.drive()
+        return queue, stats, tasks
+
+    def test_fixed_rng_reproduces_the_whole_drive(self):
+        first_queue, first_stats, first_tasks = self.run_once()
+        second_queue, second_stats, second_tasks = self.run_once()
+        assert first_queue.log == second_queue.log
+        assert first_stats == second_stats
+        for one, two in zip(first_tasks, second_tasks):
+            assert one.replays_done == two.replays_done
+            assert one.navigations_done == two.navigations_done
+
+    def test_think_time_interleaves_but_preserves_results(self):
+        """Delayed answers change the step order, not the outcomes."""
+        engine = SessionEngine(seed=9)
+        tasks = []
+        for serial in range(3):
+            linked = make_linked_document(serial, events=16, links=4)
+            tasks.append(engine.admit_interactive(linked, WORKSTATION,
+                                                  follows=3))
+            # Mirror run_once's admission order so session ids (and with
+            # them seeds and traces) line up; the batch sessions idle.
+            plain = make_media_document(serial, events=12)
+            engine.admit(plain, WORKSTATION)
+        queue = RunQueue(tasks, choices=ScriptedChoices())
+        queue.drive()
+        delayed_queue, delayed_stats, delayed_tasks = self.run_once()
+        interactive = [task for task in delayed_tasks
+                       if hasattr(task, "jumps")]
+        for instant, delayed in zip(tasks, interactive):
+            assert instant.jumps == delayed.jumps
+            assert ([r.materialize() for r in instant.reports]
+                    == [r.materialize() for r in delayed.reports])
+
+    def test_idle_jump_skips_to_next_due_answer(self):
+        """With only delayed answers left, the clock jumps, not spins."""
+        engine = SessionEngine(seed=9)
+        linked = make_linked_document(0, events=16, links=4)
+        task = engine.admit_interactive(linked, WORKSTATION, follows=2)
+        queue = RunQueue([task], choices=ScriptedChoices(
+            rng=random.Random(1), max_delay_steps=50))
+        stats = queue.drive()
+        assert task.state == DONE
+        # Steps only count executed quanta plus idle jumps to due
+        # answers — far fewer than spinning 50 steps per choice.
+        assert stats.steps >= len(task.reports) + len(task.jumps)
