@@ -139,7 +139,9 @@ def cmd_play(args: argparse.Namespace) -> int:
     batch = BatchPlayer.for_document(document, environment,
                                      seed=args.seed,
                                      prefetch_lead_ms=args.prefetch,
-                                     cache=cache)
+                                     cache=cache, kernel=args.kernel)
+    if args.verbose:
+        print(f"kernel: {batch.kernel.name}")
     if args.sweep:
         rates = (_parse_float_list(args.rates, "--rates")
                  if args.rates else [args.rate])
@@ -224,13 +226,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     documents = [load_document(str(path)) for path in paths]
     environments = _parse_environments(args.environments)
-    engine = SessionEngine(engine=args.engine, seed=args.seed)
+    engine = SessionEngine(engine=args.engine, seed=args.seed,
+                           kernel=args.kernel)
     report = engine.serve(documents, environments,
                           sessions_per_pair=args.sessions,
                           replays=args.replays,
                           interactive_per_pair=args.interactive,
-                          follows=args.follows)
+                          follows=args.follows,
+                          workers=args.workers)
     print(report.describe())
+    print(f"  kernel={engine.kernel.name} workers={args.workers}")
     if args.interactive and engine.last_queue is not None:
         print(f"  {engine.last_queue.stats().describe()}")
     return 0 if report.admitted else 1
@@ -360,10 +365,14 @@ def cmd_ingest(args: argparse.Namespace) -> int:
         print(f"error: no {args.pattern} files in {directory}",
               file=sys.stderr)
         return 2
+    from repro.kernel import resolve_kernel
+    kernel = resolve_kernel(args.kernel)
     report = ingest_corpus(paths, engine=args.engine,
                            relaxation_policy=args.policy,
-                           compile_programs=not args.no_programs)
+                           compile_programs=not args.no_programs,
+                           kernel=kernel, workers=args.workers)
     print(report.describe())
+    print(f"  kernel={kernel.name} workers={args.workers}")
     return 1 if report.failures else 0
 
 
@@ -442,6 +451,11 @@ def build_parser() -> argparse.ArgumentParser:
     play.add_argument("--seeks", metavar="CSV",
                       help="with --sweep: comma-separated seek points in "
                            "seconds (default: the single --seek)")
+    play.add_argument("--kernel", choices=("auto", "numpy", "python"),
+                      default="auto",
+                      help="numeric backend for the replay inner loop "
+                           "(auto: numpy when available; bit-identical "
+                           "either way)")
     play.add_argument("--verbose", action="store_true")
     play.set_defaults(handler=cmd_play)
 
@@ -496,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "document (with --generate)")
     serve.add_argument("--seed", type=int, default=1991,
                        help="generator and jitter seed")
+    serve.add_argument("--kernel", choices=("auto", "numpy", "python"),
+                       default="auto",
+                       help="numeric backend for solves and replays "
+                            "(auto: numpy when available; bit-identical "
+                            "either way)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="shard the drive across N processes "
+                            "(default 1; counters identical to serial)")
     serve.set_defaults(handler=cmd_serve)
 
     pack_cmd = commands.add_parser("pack", help="package for transport")
@@ -551,6 +573,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(with --generate)")
     ingest.add_argument("--seed", type=int, default=1991,
                         help="generator seed (with --generate)")
+    ingest.add_argument("--kernel", choices=("auto", "numpy", "python"),
+                        default="auto",
+                        help="numeric backend for the solve stage "
+                             "(auto: numpy when available; bit-identical "
+                             "either way)")
+    ingest.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard the corpus across N processes "
+                             "(default 1; report identical to serial)")
     ingest.set_defaults(handler=cmd_ingest)
 
     news = commands.add_parser("news",

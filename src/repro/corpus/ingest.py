@@ -22,7 +22,11 @@ one bad document must not stop a catalog.
 
 from __future__ import annotations
 
+import multiprocessing
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -151,7 +155,9 @@ def ingest_corpus(source: Path | str | Sequence[Path], *,
                   compile_programs: bool = True,
                   schedule_cache: ScheduleCache | None = None,
                   program_cache: ProgramCache | None = None,
-                  pattern: str = "*.cmif") -> IngestReport:
+                  pattern: str = "*.cmif",
+                  kernel=None,
+                  workers: int = 1) -> IngestReport:
     """Stream a corpus through parse → compile → solve → program.
 
     ``source`` is a directory (scanned with ``pattern``) or an explicit
@@ -159,10 +165,22 @@ def ingest_corpus(source: Path | str | Sequence[Path], *,
     not supplied, so every ingested document's schedule and program stay
     resident for the serving path; pass existing caches to warm those
     instead.
+
+    ``kernel`` picks the numeric backend for the cold solves (the
+    ``kernel=`` axis, :mod:`repro.kernel`; bit-identical output).
+    ``workers`` > 1 shards the corpus into contiguous path chunks
+    across a process pool — documents are embarrassingly parallel —
+    and merges the shard reports in path order, then re-warms the
+    parent's caches from the shipped artifacts, so the report (and the
+    cache contents) are identical to a ``workers=1`` run except for
+    the ``*_seconds`` timings.
     """
     if engine not in SCHEDULE_ENGINES:
         raise CmifError(f"unknown ingest engine {engine!r}; expected one "
                         f"of {SCHEDULE_ENGINES}")
+    if workers < 1:
+        raise CmifError(f"ingest workers must be at least 1, "
+                        f"got {workers}")
     if isinstance(source, (str, Path)):
         paths = corpus_paths(source, pattern)
     else:
@@ -173,25 +191,105 @@ def ingest_corpus(source: Path | str | Sequence[Path], *,
         program_cache = ProgramCache(capacity=max(len(paths), 1))
     report = IngestReport(engine=engine, schedule_cache=schedule_cache,
                           program_cache=program_cache)
-    stage_seconds = report.stage_seconds
     wall_start = time.perf_counter()
-    for path in paths:
-        entry = _ingest_one(path, report, stage_seconds, engine,
-                            relaxation_policy, channel_serialization,
-                            compile_programs, schedule_cache,
-                            program_cache)
-        if entry is not None:
-            report.documents.append(entry)
+    if workers > 1 and len(paths) > 1:
+        done = _ingest_parallel(paths, report, workers, engine,
+                                relaxation_policy, channel_serialization,
+                                compile_programs, kernel)
+    else:
+        done = False
+    if not done:
+        stage_seconds = report.stage_seconds
+        for path in paths:
+            entry = _ingest_one(path, report, stage_seconds, engine,
+                                relaxation_policy, channel_serialization,
+                                compile_programs, schedule_cache,
+                                program_cache, kernel)
+            if entry is not None:
+                report.documents.append(entry)
     report.wall_seconds = time.perf_counter() - wall_start
     return report
+
+
+def _kernel_name(kernel) -> str | None:
+    """A picklable spelling of a kernel axis value for worker dispatch."""
+    return getattr(kernel, "name", kernel)
+
+
+def _ingest_shard(args: tuple) -> IngestReport:
+    """Worker entry: ingest one contiguous path chunk, ship it back.
+
+    Runs the serial pipeline with fresh private caches, then strips
+    them — the parent re-warms its own caches from the shipped
+    documents so shard boundaries never show in cache contents.
+    """
+    (chunk, engine, relaxation_policy, channel_serialization,
+     compile_programs, kernel) = args
+    shard = ingest_corpus(chunk, engine=engine,
+                          relaxation_policy=relaxation_policy,
+                          channel_serialization=channel_serialization,
+                          compile_programs=compile_programs,
+                          kernel=kernel, workers=1)
+    shard.schedule_cache = None
+    shard.program_cache = None
+    return shard
+
+
+def _ingest_parallel(paths: list[Path], report: IngestReport,
+                     workers: int, engine: str, relaxation_policy: str,
+                     channel_serialization: bool, compile_programs: bool,
+                     kernel) -> bool:
+    """Shard ``paths`` across a process pool and merge into ``report``.
+
+    Returns False when no pool could be started (the caller then runs
+    the serial path); shard failures inside the pipeline are per-
+    document and ride back in the shard reports like any other.
+    """
+    shard_count = min(workers, len(paths))
+    bounds = [len(paths) * index // shard_count
+              for index in range(shard_count + 1)]
+    shard_args = [(paths[bounds[index]:bounds[index + 1]], engine,
+                   relaxation_policy, channel_serialization,
+                   compile_programs, _kernel_name(kernel))
+                  for index in range(shard_count)]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:                                # pragma: no cover
+        context = multiprocessing.get_context()
+    try:
+        with ProcessPoolExecutor(max_workers=shard_count,
+                                 mp_context=context) as pool:
+            shards = list(pool.map(_ingest_shard, shard_args))
+    except (OSError, BrokenProcessPool, pickle.PicklingError):
+        # No usable pool (restricted sandbox, unpicklable payloads):
+        # the serial path is always correct, only slower.
+        return False
+    for shard in shards:
+        report.documents.extend(shard.documents)
+        report.failures.extend(shard.failures)
+        for stage in INGEST_STAGES:
+            report.stage_seconds[stage] += shard.stage_seconds[stage]
+            report.stage_documents[stage] += shard.stage_documents[stage]
+            report.stage_events[stage] += shard.stage_events[stage]
+    schedule_cache = report.schedule_cache
+    program_cache = report.program_cache
+    for entry in report.documents:
+        if schedule_cache is not None:
+            schedule_cache.put(
+                entry.document, entry.schedule,
+                channel_serialization=channel_serialization,
+                relaxation_policy=relaxation_policy)
+        if program_cache is not None and entry.program is not None:
+            program_cache.put(entry.schedule, entry.program)
+    return True
 
 
 def _ingest_one(path: Path, report: IngestReport,
                 stage_seconds: dict[str, float], engine: str,
                 relaxation_policy: str, channel_serialization: bool,
                 compile_programs: bool, schedule_cache: ScheduleCache,
-                program_cache: ProgramCache | None
-                ) -> IngestedDocument | None:
+                program_cache: ProgramCache | None,
+                kernel=None) -> IngestedDocument | None:
     """One document through the pipeline; None (and a failure) on error."""
     stage_documents = report.stage_documents
     stage_events = report.stage_events
@@ -218,7 +316,7 @@ def _ingest_one(path: Path, report: IngestReport,
         schedule = schedule_document(
             compiled, channel_serialization=channel_serialization,
             relaxation_policy=relaxation_policy, cache=schedule_cache,
-            engine=engine)
+            engine=engine, kernel=kernel)
         stage_seconds["solve"] += time.perf_counter() - start
         stage_documents["solve"] += 1
         stage_events["solve"] += len(schedule.events)

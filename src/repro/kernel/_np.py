@@ -1,0 +1,34 @@
+"""The one optional-NumPy import point for the whole package.
+
+Every module that can use NumPy — the numeric kernel backend, payload
+filtering, transport array encoding — imports ``np`` and ``HAVE_NUMPY``
+from here instead of importing ``numpy`` itself.  That keeps the
+dependency policy in one place: NumPy is an *accelerator*, never a
+requirement.  When it is absent, ``np`` is None, ``HAVE_NUMPY`` is
+False, the python kernel backend serves every numeric path, and only
+the payload transformations that genuinely need array math refuse to
+run (lazily, at the call that needs them).
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+    HAVE_NUMPY = True
+except ImportError:                                   # pragma: no cover
+    np = None
+    HAVE_NUMPY = False
+
+
+def require_numpy(feature: str):
+    """``np``, or a clear error naming the feature that needs it."""
+    if np is None:                                    # pragma: no cover
+        from repro.core.errors import MediaError
+        raise MediaError(
+            f"{feature} requires numpy, which is not installed; "
+            f"attribute-level adaptation and the python kernel backend "
+            f"work without it")
+    return np
+
+
+__all__ = ["HAVE_NUMPY", "np", "require_numpy"]

@@ -35,12 +35,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
-import numpy as np
-
 from repro.core.channels import Medium
 from repro.core.descriptors import DataDescriptor
 from repro.core.document import CompiledDocument
 from repro.core.errors import DeviceConstraintError, MediaError
+from repro.kernel._np import require_numpy
 from repro.media.audio import downsample, merge_channels
 from repro.media.image import reduce_color_depth, scale_image, to_monochrome
 from repro.media.video import scale_frames, subsample_frame_rate
@@ -392,10 +391,12 @@ def apply_action(action: FilterAction, payload: Any,
         transformed, _achieved = subsample_frame_rate(
             payload, rate, action.parameters["target_rate"])
     elif action.kind is FilterKind.DOWNSAMPLE_AUDIO:
+        np = require_numpy("audio downsampling")
         rate = float(descriptor.get("sample-rate", 44100.0))
         transformed, _achieved = downsample(
             np.asarray(payload), rate, action.parameters["target_rate"])
     elif action.kind is FilterKind.MERGE_CHANNELS:
+        np = require_numpy("audio channel merging")
         transformed = merge_channels(
             np.asarray(payload), action.parameters["target_channels"])
     elif action.kind is FilterKind.DROP_CHANNEL:
@@ -420,6 +421,7 @@ def apply_action(action: FilterAction, payload: Any,
 
 def _map_frames(payload: Any, descriptor: DataDescriptor, transform) -> Any:
     """Apply a per-image transform to an image or every video frame."""
+    np = require_numpy("image/video payload filtering")
     array = np.asarray(payload)
     if descriptor.medium is Medium.VIDEO:
         return np.stack([transform(frame) for frame in array])

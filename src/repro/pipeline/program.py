@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.core.channels import Medium
 from repro.core.errors import PathError, PlaybackError
+from repro.kernel import resolve_kernel
 from repro.core.paths import path_map, resolve_path
 from repro.core.syncarc import Anchor, ConditionalArc, Strictness
 from repro.core.tree import iter_postorder, iter_preorder
@@ -117,7 +118,7 @@ class PlaybackProgram:
     __slots__ = ("schedule", "revision", "n_events", "begin_ms", "end_ms",
                  "node_paths", "channels", "channel_index", "media",
                  "medium_index", "audit_arcs", "nav_arcs", "_audit_rows",
-                 "adaptation")
+                 "_kernel_views", "adaptation")
 
     def __init__(self, schedule: Schedule, revision: int,
                  begin_ms: list[float], end_ms: list[float],
@@ -140,6 +141,9 @@ class PlaybackProgram:
         self.audit_arcs = audit_arcs
         self.nav_arcs = nav_arcs
         self.adaptation = adaptation
+        #: Per-kernel compiled array views (lazily built, shared with
+        #: every environment-specialized clone).
+        self._kernel_views: dict = {}
         # The audit loop's hot view of the arc table: plain tuples
         # unpack far faster than seven dataclass attribute reads.
         self._audit_rows = [
@@ -155,6 +159,7 @@ class PlaybackProgram:
             self.media, self.medium_index, self.audit_arcs,
             self.nav_arcs, adaptation=adaptation)
         clone._audit_rows = self._audit_rows
+        clone._kernel_views = self._kernel_views
         return clone
 
     # -- per-run execution (pure array arithmetic) ------------------------
@@ -572,20 +577,29 @@ class CompactReport:
     @property
     def played_count(self) -> int:
         """How many events the run presented (post-seek)."""
-        return sum(self._played_mask)
+        mask = self._played_mask
+        if isinstance(mask, list):
+            return sum(mask)
+        return int(mask.sum())
 
     @property
     def max_skew_ms(self) -> float:
         """The worst realized start skew across all events."""
-        worst = 0.0
-        empty = True
+        mask = self._played_mask
         actual = self._actual_begin
         scheduled = self._scheduled_begin
-        for index, hit in enumerate(self._played_mask):
+        if not isinstance(actual, list):
+            skew = actual[mask] - scheduled[mask]
+            if skew.size == 0:
+                return 0.0
+            return float(abs(skew).max())
+        worst = 0.0
+        empty = True
+        for index, hit in enumerate(mask):
             if not hit:
                 continue
             empty = False
-            skew = actual[index] - scheduled[index]
+            skew = float(actual[index] - scheduled[index])
             if skew < 0:
                 skew = -skew
             if skew > worst:
@@ -593,8 +607,11 @@ class CompactReport:
         return 0.0 if empty else worst
 
     def _violation_count(self, strictness: Strictness) -> int:
+        results = self._arc_results
+        if not isinstance(results, list):
+            return results.count_violations(strictness)
         count = 0
-        for arc, result in zip(self.program.audit_arcs, self._arc_results):
+        for arc, result in zip(self.program.audit_arcs, results):
             if (result is not None and result[1] != 0.0
                     and arc.strictness is strictness):
                 count += 1
@@ -610,14 +627,23 @@ class CompactReport:
 
     def skew_by_channel(self) -> dict[str, float]:
         """Worst absolute start skew per channel, from the arrays."""
+        mask = self._played_mask
+        if not isinstance(self._actual_begin, list):
+            # The numpy kernel produced this report; its arc results
+            # carry the compiled view (channel arrays included).
+            from repro.kernel.backends import NUMPY_KERNEL
+            return NUMPY_KERNEL.skew_by_channel(
+                self.program, self._actual_begin,
+                self._scheduled_begin, mask)
         worst: dict[str, float] = {}
         channels = self.program.channels
         channel_index = self.program.channel_index
-        for index, hit in enumerate(self._played_mask):
+        for index, hit in enumerate(mask):
             if not hit:
                 continue
             name = channels[channel_index[index]]
-            skew = self._actual_begin[index] - self._scheduled_begin[index]
+            skew = float(self._actual_begin[index]
+                         - self._scheduled_begin[index])
             if skew < 0:
                 skew = -skew
             if skew > worst.get(name, -1.0):
@@ -668,16 +694,32 @@ class CompactReport:
         report.navigation_conflicts = list(self._nav)
         channels = program.channels
         channel_index = program.channel_index
-        for index, hit in enumerate(self._played_mask):
+        # Kernel arrays come back to pure-Python floats here, so the
+        # materialized objects are type- and bit-identical to the
+        # interpretive player's regardless of backend.
+        mask = self._played_mask
+        scheduled_begin = self._scheduled_begin
+        scheduled_end = self._scheduled_end
+        actual_begin = self._actual_begin
+        actual_end = self._actual_end
+        if not isinstance(mask, list):
+            mask = mask.tolist()
+        if not isinstance(scheduled_begin, list):
+            scheduled_begin = scheduled_begin.tolist()
+            scheduled_end = scheduled_end.tolist()
+        if not isinstance(actual_begin, list):
+            actual_begin = actual_begin.tolist()
+            actual_end = actual_end.tolist()
+        for index, hit in enumerate(mask):
             if not hit:
                 continue
             report.played.append(PlayedEvent(
                 node_path=program.node_paths[index],
                 channel=channels[channel_index[index]],
-                scheduled_begin_ms=self._scheduled_begin[index],
-                scheduled_end_ms=self._scheduled_end[index],
-                actual_begin_ms=self._actual_begin[index],
-                actual_end_ms=self._actual_end[index]))
+                scheduled_begin_ms=scheduled_begin[index],
+                scheduled_end_ms=scheduled_end[index],
+                actual_begin_ms=actual_begin[index],
+                actual_end_ms=actual_end[index]))
         for arc, result in zip(program.audit_arcs, self._arc_results):
             if result is None:
                 continue
@@ -755,13 +797,15 @@ class BatchPlayer:
                  seed: int = 0, prefetch_lead_ms: float = 0.0,
                  strict: bool = False,
                  program: PlaybackProgram | None = None,
-                 program_cache: "ProgramCache | None" = None) -> None:
+                 program_cache: "ProgramCache | None" = None,
+                 kernel=None) -> None:
         if prefetch_lead_ms < 0:
             raise PlaybackError("prefetch lead cannot be negative")
         self.environment = environment
         self.seed = seed
         self.prefetch_lead_ms = prefetch_lead_ms
         self.strict = strict
+        self.kernel = resolve_kernel(kernel)
         self.program = (program if program is not None
                         else compile_program(schedule, cache=program_cache))
         # Per-configuration caches, all LRU-bounded: a long-lived
@@ -790,8 +834,9 @@ class BatchPlayer:
                      cache: ScheduleCache | None = None,
                      **kwargs) -> "BatchPlayer":
         """Schedule (through ``cache``, if any) and wrap a document."""
-        return cls(schedule_for(document, cache=cache), environment,
-                   **kwargs)
+        return cls(schedule_for(document, cache=cache,
+                                kernel=kwargs.get("kernel")),
+                   environment, **kwargs)
 
     def rng_for(self, replay: int = 0) -> random.Random:
         """The jitter RNG of the ``replay``-th run (seed + replay)."""
@@ -818,24 +863,16 @@ class BatchPlayer:
         cached = _cache_get(self._transforms, key)
         if cached is not None:
             return key, cached[0], cached[1]
+        kernel = self.kernel
         program = self.program
-        tb = program.begin_ms
-        te = program.end_ms
+        tb = kernel.time_array(program.begin_ms)
+        te = kernel.time_array(program.end_ms)
         if rate != 1.0:
-            tb = [value * rate for value in tb]
-            te = [value * rate for value in te]
+            tb = kernel.scale(tb, rate)
+            te = kernel.scale(te, rate)
         if freezing:
-            frozen_begin = []
-            frozen_end = []
-            for begin, end in zip(tb, te):
-                if begin >= freeze_at_ms:
-                    begin += freeze_duration_ms
-                    end += freeze_duration_ms
-                elif end > freeze_at_ms:
-                    end += freeze_duration_ms
-                frozen_begin.append(begin)
-                frozen_end.append(end)
-            tb, te = frozen_begin, frozen_end
+            tb, te = kernel.freeze(tb, te, freeze_at_ms,
+                                   freeze_duration_ms)
         _cache_put(self._transforms, key, (tb, te))
         return key, tb, te
 
@@ -852,8 +889,8 @@ class BatchPlayer:
     def _latency_for(self, environment: SystemEnvironment) -> list[float]:
         entry = _cache_get(self._latencies, id(environment))
         if entry is None or entry[0] is not environment:
-            entry = (environment,
-                     self.program.event_latencies(environment))
+            entry = (environment, self.kernel.time_array(
+                self.program.event_latencies(environment)))
             _cache_put(self._latencies, id(environment), entry)
         return entry[1]
 
@@ -863,9 +900,9 @@ class BatchPlayer:
         key = (transform_key, seek_to_ms, id(environment))
         entry = _cache_get(self._plans, key)
         if entry is None or entry[0] is not environment:
-            plan = self.program.plan(tb, te, seek_to_ms,
-                                     self._latency_for(environment),
-                                     self.prefetch_lead_ms)
+            plan = self.kernel.build_plan(
+                self.program, tb, te, seek_to_ms,
+                self._latency_for(environment), self.prefetch_lead_ms)
             entry = (environment, plan)
             _cache_put(self._plans, key, entry)
         return entry[1]
@@ -908,10 +945,11 @@ class BatchPlayer:
         if rng is None:
             rng = self.rng_for(replay)
         plan = self._plan_for(transform_key, tb, te, seek_to_ms, env)
-        actual_begin, actual_end = self.program.run(plan, env.jitter_ms,
-                                                    rng)
+        actual_begin, actual_end = self.kernel.run(self.program, plan,
+                                                   env.jitter_ms, rng)
         played = plan.played
-        arc_results = self.program.audit(actual_begin, actual_end, played)
+        arc_results = self.kernel.audit(self.program, actual_begin,
+                                        actual_end, played, plan=plan)
         report = CompactReport(
             program=self.program, environment=env.name, rate=rate,
             freezes_ms=(freeze_duration_ms if freeze_at_ms is not None

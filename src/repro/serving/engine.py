@@ -33,12 +33,17 @@ admission and traffic statistics make the engine observable
 from __future__ import annotations
 
 import collections
+import multiprocessing
+import pickle
 import random
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.core.document import CmifDocument
 from repro.core.errors import ValueError_
+from repro.kernel import resolve_kernel
 from repro.pipeline.adaptation import (adapted_navigation_for,
                                        adapted_program_for)
 from repro.pipeline.navprogram import random_trace
@@ -185,6 +190,36 @@ class ServingReport:
         return "\n".join(lines)
 
 
+def _drive_shard(tasks: list) -> tuple[int, list[EnvironmentStats]]:
+    """Worker entry: run one task shard on its own queue, ship deltas.
+
+    The unpickled tasks carry copies of the parent's stats rows (shared
+    within the shard by pickle memoization), so the same proportional
+    wall-time attribution as the serial drive lands on them; the deltas
+    against pre-drive snapshots are what travels back.
+    """
+    rows: dict[int, tuple[EnvironmentStats, EnvironmentStats]] = {}
+    for task in tasks:
+        stats = task.session.stats
+        if stats is not None and id(stats) not in rows:
+            rows[id(stats)] = (stats, stats.snapshot())
+    queue = RunQueue(tasks, choices=ScriptedChoices())
+    start = time.perf_counter()
+    queue.drive()
+    elapsed = time.perf_counter() - start
+    performed = queue.replays
+    if performed:
+        shares: collections.Counter = collections.Counter()
+        for task in tasks:
+            stats = task.session.stats
+            if stats is not None and task.replays_done:
+                shares[id(stats)] += task.replays_done
+        for key, share in shares.items():
+            rows[key][0].replay_seconds += elapsed * share / performed
+    return performed, [stats.delta_since(before)
+                       for stats, before in rows.values()]
+
+
 class SessionEngine:
     """Admit, adapt and replay sessions across shared compiled caches."""
 
@@ -194,11 +229,13 @@ class SessionEngine:
                  program_cache: ProgramCache | None = None,
                  requirements_cache: RequirementsCache | None = None,
                  schedule_capacity: int = 128,
-                 program_capacity: int = 512) -> None:
+                 program_capacity: int = 512,
+                 kernel=None) -> None:
         if engine not in SCHEDULE_ENGINES:
             raise ValueError_(f"unknown schedule engine {engine!r}; "
                               f"expected one of {SCHEDULE_ENGINES}")
         self.engine = engine
+        self.kernel = resolve_kernel(kernel)
         self.seed = seed
         self.prefetch_lead_ms = prefetch_lead_ms
         self.schedule_cache = (schedule_cache if schedule_cache is not None
@@ -238,7 +275,7 @@ class SessionEngine:
             return entry[1]
         player = BatchPlayer(schedule, environment, seed=self.seed,
                              prefetch_lead_ms=self.prefetch_lead_ms,
-                             program=program)
+                             program=program, kernel=self.kernel)
         self._players[key] = (program, player)
         self._players.move_to_end(key)
         while len(self._players) > PLAYER_CACHE_CAPACITY:
@@ -274,7 +311,7 @@ class SessionEngine:
             stats.admit_seconds += time.perf_counter() - start
             return session
         schedule = schedule_for(document, cache=self.schedule_cache,
-                                engine=self.engine)
+                                engine=self.engine, kernel=self.kernel)
         program = adapted_program_for(schedule, environment,
                                       program_cache=self.program_cache,
                                       requirements=requirements)
@@ -337,7 +374,8 @@ class SessionEngine:
 
     def drive(self, sessions, replays: int = 1, *, rate: float = 1.0,
               seek_to_ms: float = 0.0,
-              choices: ScriptedChoices | None = None) -> int:
+              choices: ScriptedChoices | None = None,
+              workers: int = 1) -> int:
         """Interleave mixed batch + interactive sessions, run-queue style.
 
         ``sessions`` may mix plain :class:`Session` objects (wrapped as
@@ -351,7 +389,20 @@ class SessionEngine:
         choice blocks only their own session.  Returns replays
         performed (an interactive segment counts as one replay); the
         full scheduler accounting stays on :attr:`last_queue`.
+
+        ``workers`` > 1 partitions the task list into contiguous shards
+        across a process pool — every session's replay outcome depends
+        only on its own seed, so shards are independent — and merges
+        the per-environment stat deltas back in shard order, matching a
+        ``workers=1`` drive exactly except for the ``*_seconds``
+        timings.  Parallel drives leave :attr:`last_queue` unset (the
+        shards ran separate queues) and the caller's Session objects
+        unmutated; interactive choices pull from each shard's own
+        script, so an explicit shared ``choices`` forces serial.
         """
+        if workers < 1:
+            raise ValueError_(f"drive workers must be at least 1, "
+                              f"got {workers}")
         tasks = []
         for item in sessions:
             if isinstance(item, (InteractiveSession, BatchTask)):
@@ -360,6 +411,11 @@ class SessionEngine:
             elif item.admitted:
                 tasks.append(BatchTask(item, replays, rate=rate,
                                        seek_to_ms=seek_to_ms))
+        if workers > 1 and choices is None and len(tasks) > 1:
+            performed = self._drive_parallel(tasks, workers)
+            if performed is not None:
+                self.last_queue = None
+                return performed
         queue = RunQueue(tasks, choices=(choices if choices is not None
                                          else ScriptedChoices()))
         start = time.perf_counter()
@@ -380,13 +436,52 @@ class SessionEngine:
         self.last_queue = queue
         return performed
 
+    def _drive_parallel(self, tasks: list, workers: int) -> int | None:
+        """Drive contiguous task shards in a pool; merge stat deltas.
+
+        Returns None when no pool could be started or the task graph
+        does not pickle (players embed live transforms in some custom
+        setups) — the caller then falls back to the serial queue.
+        """
+        shard_count = min(workers, len(tasks))
+        bounds = [len(tasks) * index // shard_count
+                  for index in range(shard_count + 1)]
+        shards = [tasks[bounds[index]:bounds[index + 1]]
+                  for index in range(shard_count)]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:                            # pragma: no cover
+            context = multiprocessing.get_context()
+        try:
+            with ProcessPoolExecutor(max_workers=shard_count,
+                                     mp_context=context) as pool:
+                results = list(pool.map(_drive_shard, shards))
+        except (OSError, BrokenProcessPool, pickle.PicklingError,
+                TypeError, AttributeError):
+            return None
+        performed = 0
+        for shard_performed, deltas in results:
+            performed += shard_performed
+            for delta in deltas:
+                row = self.stats.get(delta.name)
+                if row is None:                       # pragma: no cover
+                    row = EnvironmentStats(name=delta.name)
+                    self.stats[delta.name] = row
+                # Admission fields never move during a drive; only the
+                # replay-side counters come back from the shard.
+                row.replays += delta.replays
+                row.events_played += delta.events_played
+                row.navigations += delta.navigations
+                row.replay_seconds += delta.replay_seconds
+        return performed
+
     # -- corpus serving ------------------------------------------------------
 
     def serve(self, documents, environments, *,
               sessions_per_pair: int = 1, replays: int = 1,
               rate: float = 1.0, seek_to_ms: float = 0.0,
-              interactive_per_pair: int = 0, follows: int = 2
-              ) -> ServingReport:
+              interactive_per_pair: int = 0, follows: int = 2,
+              workers: int = 1) -> ServingReport:
         """Admit and drive a whole corpus against environment profiles.
 
         ``documents`` is an iterable of :class:`CmifDocument`;
@@ -396,7 +491,9 @@ class SessionEngine:
         ``interactive_per_pair`` adds that many interactive readers per
         pair, each with a seed-derived scripted trace of up to
         ``follows`` link follows, interleaved with the batch traffic on
-        the run queue.
+        the run queue.  Admission always runs in this process (it warms
+        the shared caches); ``workers`` > 1 shards the drive — see
+        :meth:`drive`.
         """
         if sessions_per_pair < 1:
             raise ValueError_("sessions_per_pair must be at least 1, "
@@ -420,7 +517,7 @@ class SessionEngine:
                         rate=rate))
         if replays > 0 or interactive_per_pair > 0:
             self.drive(sessions, replays, rate=rate,
-                       seek_to_ms=seek_to_ms)
+                       seek_to_ms=seek_to_ms, workers=workers)
         wall_seconds = time.perf_counter() - wall_start
         ordered = [self.stats[environment.name].delta_since(
                        before.get(environment.name))

@@ -38,6 +38,7 @@ from repro.core.nodes import ExtNode, ImmNode, NodeKind
 from repro.core.paths import node_path
 from repro.core.tree import iter_preorder
 from repro.format.json_io import value_from_obj, value_to_obj
+from repro.kernel._np import require_numpy
 from repro.format.parser import parse_document
 from repro.format.writer import write_document
 from repro.store.datastore import DataStore
@@ -177,7 +178,7 @@ def _block_to_obj(block: DataBlock,
     else:
         # Array payloads (audio/video/image) travel as raw bytes plus a
         # shape note; numpy is reconstructed on unpack.
-        import numpy as np
+        np = require_numpy("array payload packaging")
         array = np.asarray(data)
         raw = array.tobytes()
         encoding = f"ndarray:{array.dtype}:" + ",".join(
@@ -200,7 +201,7 @@ def _block_from_obj(obj: dict,
     elif encoding == "bytes":
         payload = raw
     elif encoding.startswith("ndarray:"):
-        import numpy as np
+        np = require_numpy("array payload unpacking")
         _, dtype, shape_text = encoding.split(":", 2)
         shape = tuple(int(dim) for dim in shape_text.split(","))
         payload = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
