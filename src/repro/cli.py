@@ -200,6 +200,22 @@ def _parse_environments(raw: str) -> list[SystemEnvironment]:
     return environments
 
 
+def _load_edit_script(path: str) -> list:
+    """Read a JSON edit script: a list of edit-spec objects.
+
+    The spec format is :meth:`repro.pipeline.patch.LiveEditor.apply`'s
+    — ``op`` plus per-op fields, optionally ``at_step`` (scheduler step
+    to fire at) and ``document`` (corpus index, ``serve`` only).
+    """
+    import json
+    script = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(script, list) \
+            or not all(isinstance(spec, dict) for spec in script):
+        raise CmifError(f"edit script {path} must be a JSON list of "
+                        f"edit objects")
+    return script
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.corpus import generate_serving_corpus
     from repro.serving import SessionEngine
@@ -226,6 +242,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     documents = [load_document(str(path)) for path in paths]
     environments = _parse_environments(args.environments)
+    edit_script = (_load_edit_script(args.edit_script)
+                   if args.edit_script else None)
     engine = SessionEngine(engine=args.engine, seed=args.seed,
                            kernel=args.kernel)
     report = engine.serve(documents, environments,
@@ -233,12 +251,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           replays=args.replays,
                           interactive_per_pair=args.interactive,
                           follows=args.follows,
-                          workers=args.workers)
+                          workers=args.workers,
+                          edit_script=edit_script)
     print(report.describe())
     print(f"  kernel={engine.kernel.name} workers={args.workers}")
     if args.interactive and engine.last_queue is not None:
         print(f"  {engine.last_queue.stats().describe()}")
     return 0 if report.admitted else 1
+
+
+def cmd_edit(args: argparse.Namespace) -> int:
+    """Replay a live-edit script against one document's warm pyramid.
+
+    Admits the document against the selected environment profiles
+    (warming schedule, program, adaptation and navigation caches — the
+    state a hot serving fleet would hold), then applies each scripted
+    edit through the delta-lowering path and prints its per-level
+    patch/recompile outcome.
+    """
+    from repro.pipeline.adaptation import adapted_navigation_for
+    from repro.serving import SessionEngine
+    document = load_document(args.document)
+    script = _load_edit_script(args.script)
+    environments = _parse_environments(args.environments)
+    engine = SessionEngine(seed=args.seed, kernel=args.kernel)
+    sessions = [engine.admit(document, environment)
+                for environment in environments]
+    for session in sessions:
+        if session.admitted:
+            adapted_navigation_for(session.schedule, session.environment,
+                                   program_cache=engine.program_cache)
+    applied = 0
+    for spec in script:
+        try:
+            record = engine.apply_edit(document, spec, sessions=sessions)
+        except CmifError as error:
+            print(f"edit {spec.get('op')}: conflict: {error}")
+            continue
+        applied += 1
+        print(record.explain())
+    print(engine.editor_for(document).stats.describe())
+    return 0 if applied == len(script) else 1
 
 
 def cmd_pack(args: argparse.Namespace) -> int:
@@ -518,7 +571,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1, metavar="N",
                        help="shard the drive across N processes "
                             "(default 1; counters identical to serial)")
+    serve.add_argument("--edit-script", metavar="FILE",
+                       help="JSON list of live edits applied while "
+                            "sessions run (each: op fields plus "
+                            "optional at_step / document index); "
+                            "forces a serial drive")
     serve.set_defaults(handler=cmd_serve)
+
+    edit_cmd = commands.add_parser(
+        "edit", help="replay a live-edit script against one document's "
+                     "warm serving caches and report patch precision")
+    edit_cmd.add_argument("document")
+    edit_cmd.add_argument("--script", required=True, metavar="FILE",
+                          help="JSON list of edit objects (see "
+                               "serve --edit-script)")
+    edit_cmd.add_argument("--environments", default="all", metavar="CSV",
+                          help="profiles whose compiled programs to "
+                               "warm and patch: 'all' (default) or a "
+                               "comma-separated list of names")
+    edit_cmd.add_argument("--seed", type=int, default=1991,
+                          help="engine jitter seed")
+    edit_cmd.add_argument("--kernel",
+                          choices=("auto", "numpy", "python"),
+                          default="auto",
+                          help="numeric backend (bit-identical "
+                               "either way)")
+    edit_cmd.set_defaults(handler=cmd_edit)
 
     pack_cmd = commands.add_parser("pack", help="package for transport")
     pack_cmd.add_argument("document")

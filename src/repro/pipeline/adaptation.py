@@ -243,6 +243,23 @@ def adapted_navigation_for(schedule: Schedule,
     return navigation_for(schedule, program_cache=program_cache)
 
 
+def adaptation_for(schedule: Schedule, environment: SystemEnvironment,
+                   *, requirements: DocumentRequirements | None = None
+                   ) -> AdaptationProgram:
+    """Plan and lower one environment's adaptation of a schedule.
+
+    The plan-derivation + compile composition ``adapted_program_for``
+    performs on a miss, without the program-cache plumbing — the piece
+    delta-lowering's structural fallback re-runs per *cached*
+    environment after an un-patchable edit.  ``requirements`` is only a
+    profile-derivation speed cache; with or without it the output is
+    bit-identical.
+    """
+    plan = ConstraintFilter(environment).plan(
+        schedule.compiled, requirements=requirements)
+    return compile_adaptation(plan, schedule.compiled, environment)
+
+
 def adapted_program_for(schedule: Schedule,
                         environment: SystemEnvironment, *,
                         program_cache: ProgramCache | None = None,
@@ -265,9 +282,11 @@ def adapted_program_for(schedule: Schedule,
             return cached
     base = compile_program(schedule, cache=program_cache)
     if plan is None:
-        plan = ConstraintFilter(environment).plan(
-            schedule.compiled, requirements=requirements)
-    adaptation = compile_adaptation(plan, schedule.compiled, environment)
+        adaptation = adaptation_for(schedule, environment,
+                                    requirements=requirements)
+    else:
+        adaptation = compile_adaptation(plan, schedule.compiled,
+                                        environment)
     program = base if adaptation.identity \
         else base.specialized(adaptation)
     if program_cache is not None:

@@ -178,6 +178,22 @@ def compile_navigation(schedule: Schedule) -> NavigationProgram:
         links=links, guards=tuple(guards), deferred_error=deferred)
 
 
+def recompile_into(program: NavigationProgram,
+                   schedule: Schedule) -> NavigationProgram:
+    """Refresh a navigation program in place from an edited schedule.
+
+    Live sessions (and the serving engine's player cache) hold the
+    program object itself; delta-lowering an edit must update what they
+    see without swapping objects.  Compiles fresh tables and moves them
+    onto the existing instance — bit-identical to
+    :func:`compile_navigation` by construction.
+    """
+    fresh = compile_navigation(schedule)
+    for slot in NavigationProgram.__slots__:
+        setattr(program, slot, getattr(fresh, slot))
+    return program
+
+
 def navigation_for(schedule: Schedule, *,
                    program_cache: ProgramCache | None = None
                    ) -> NavigationProgram:
@@ -335,4 +351,4 @@ def random_trace(schedule: Schedule, rng: random.Random, *,
 
 __all__ = ["ArcGuard", "Choice", "CompiledNavigationSession",
            "NAVIGATION_TAG", "NavigationProgram", "compile_navigation",
-           "navigation_for", "random_trace"]
+           "navigation_for", "random_trace", "recompile_into"]

@@ -118,15 +118,15 @@ class PlaybackProgram:
     __slots__ = ("schedule", "revision", "n_events", "begin_ms", "end_ms",
                  "node_paths", "channels", "channel_index", "media",
                  "medium_index", "audit_arcs", "nav_arcs", "_audit_rows",
-                 "_kernel_views", "adaptation")
+                 "_kernel_views", "patch_epoch", "adaptation")
 
     def __init__(self, schedule: Schedule, revision: int,
                  begin_ms: list[float], end_ms: list[float],
                  node_paths: tuple[str, ...], channels: tuple[str, ...],
                  channel_index: list[int], media: tuple[Medium, ...],
                  medium_index: list[int],
-                 audit_arcs: tuple[AuditArc, ...],
-                 nav_arcs: tuple[NavArc, ...],
+                 audit_arcs: "tuple[AuditArc, ...] | list[AuditArc]",
+                 nav_arcs: "tuple[NavArc, ...] | list[NavArc]",
                  adaptation=None) -> None:
         self.schedule = schedule
         self.revision = revision
@@ -138,28 +138,40 @@ class PlaybackProgram:
         self.channel_index = channel_index
         self.media = media
         self.medium_index = medium_index
-        self.audit_arcs = audit_arcs
-        self.nav_arcs = nav_arcs
+        # Arc tables are lists so the live-edit patcher can splice rows
+        # in place; every environment-specialized clone shares the same
+        # list objects (see :meth:`specialized`), so one splice updates
+        # all of them.
+        self.audit_arcs = list(audit_arcs)
+        self.nav_arcs = list(nav_arcs)
         self.adaptation = adaptation
         #: Per-kernel compiled array views (lazily built, shared with
         #: every environment-specialized clone).
         self._kernel_views: dict = {}
+        #: One-element shared generation counter: the live-edit patcher
+        #: bumps it when it mutates the compiled arrays in place, and
+        #: every :class:`BatchPlayer` over this program (or any clone)
+        #: flushes its per-configuration caches on the next use.
+        self.patch_epoch: list[int] = [0]
         # The audit loop's hot view of the arc table: plain tuples
         # unpack far faster than seven dataclass attribute reads.
-        self._audit_rows = [
-            (arc.source_events, arc.src_begin, arc.dest_events,
-             arc.dst_begin, arc.offset_ms, arc.delta_ms, arc.epsilon_ms)
-            for arc in audit_arcs]
+        self._audit_rows = [audit_row(arc) for arc in self.audit_arcs]
 
     def specialized(self, adaptation) -> "PlaybackProgram":
         """An environment-specialized view sharing all compiled arrays."""
         clone = PlaybackProgram(
             self.schedule, self.revision, self.begin_ms, self.end_ms,
             self.node_paths, self.channels, self.channel_index,
-            self.media, self.medium_index, self.audit_arcs,
-            self.nav_arcs, adaptation=adaptation)
+            self.media, self.medium_index, (), (),
+            adaptation=adaptation)
+        # Share the mutable tables by identity (the constructor copies
+        # its arguments): an in-place patch of the base must be visible
+        # through every clone.
+        clone.audit_arcs = self.audit_arcs
+        clone.nav_arcs = self.nav_arcs
         clone._audit_rows = self._audit_rows
         clone._kernel_views = self._kernel_views
+        clone.patch_epoch = self.patch_epoch
         return clone
 
     # -- per-run execution (pure array arithmetic) ------------------------
@@ -319,6 +331,79 @@ class PlaybackProgram:
         return [table[m] for m in self.medium_index]
 
 
+def audit_row(arc: AuditArc) -> tuple:
+    """The audit loop's hot-tuple form of one :class:`AuditArc` row."""
+    return (arc.source_events, arc.src_begin, arc.dest_events,
+            arc.dst_begin, arc.offset_ms, arc.delta_ms, arc.epsilon_ms)
+
+
+def event_slot_map(schedule: Schedule) -> dict[int, int]:
+    """``id(event) -> program array slot`` in canonical event order."""
+    return {id(scheduled.event): index
+            for index, scheduled in enumerate(schedule.ordered_events())}
+
+
+def events_under(node, compiled, event_slot: dict[int, int]
+                 ) -> tuple[int, ...]:
+    """Array slots of the scheduled leaf events under ``node``."""
+    indices = []
+    for leaf in iter_preorder(node):
+        if leaf.is_leaf:
+            event = compiled.by_node.get(id(leaf))
+            if event is not None:
+                slot = event_slot.get(id(event))
+                if slot is not None:
+                    indices.append(slot)
+    return tuple(indices)
+
+
+def build_audit_arc(node, arc, paths: dict[int, str], timebase,
+                    compiled, event_slot: dict[int, int]) -> AuditArc:
+    """One arc's :class:`AuditArc` row, exactly as compilation emits it.
+
+    Shared by :func:`compile_program` and the live-edit patcher
+    (:mod:`repro.pipeline.patch`), so a patched-in row can never drift
+    from what a from-scratch compile would produce.
+    """
+    source = resolve_path(node, arc.source)
+    destination = resolve_path(node, arc.destination)
+    delta_ms, epsilon_ms = arc.window_ms(timebase)
+    return AuditArc(
+        owner_path=paths[id(node)],
+        description=arc.describe(),
+        strictness=arc.strictness,
+        src_begin=arc.src_anchor is Anchor.BEGIN,
+        dst_begin=arc.dst_anchor is Anchor.BEGIN,
+        offset_ms=timebase.to_ms(arc.offset),
+        delta_ms=delta_ms,
+        epsilon_ms=epsilon_ms,
+        source_events=events_under(source, compiled, event_slot),
+        dest_events=events_under(destination, compiled, event_slot))
+
+
+def build_nav_arc(node, arc, paths: dict[int, str],
+                  compiled, event_slot: dict[int, int]) -> NavArc:
+    """One arc's :class:`NavArc` row, exactly as compilation emits it."""
+    try:
+        source = resolve_path(node, arc.source)
+        destination = resolve_path(node, arc.destination)
+    except PathError as exc:
+        # Only conditional arcs can defer: explicit arcs with broken
+        # endpoints already raised in the audit pass, like every
+        # interpretive play() does.
+        return NavArc(
+            owner_path=paths[id(node)],
+            description=arc.describe(),
+            strictness=arc.strictness,
+            source_events=(), dest_events=(), error=exc)
+    return NavArc(
+        owner_path=paths[id(node)],
+        description=arc.describe(),
+        strictness=arc.strictness,
+        source_events=events_under(source, compiled, event_slot),
+        dest_events=events_under(destination, compiled, event_slot))
+
+
 def compile_program(schedule: Schedule,
                     cache: "ProgramCache | None" = None
                     ) -> PlaybackProgram:
@@ -352,62 +437,21 @@ def compile_program(schedule: Schedule,
         medium_index.append(
             medium_slots.setdefault(medium, len(medium_slots)))
 
-    event_slot = {id(scheduled.event): index
-                  for index, scheduled in enumerate(ordered)}
-
-    def events_under(node) -> tuple[int, ...]:
-        indices = []
-        for leaf in iter_preorder(node):
-            if leaf.is_leaf:
-                event = compiled.by_node.get(id(leaf))
-                if event is not None:
-                    slot = event_slot.get(id(event))
-                    if slot is not None:
-                        indices.append(slot)
-        return tuple(indices)
+    event_slot = event_slot_map(schedule)
 
     audit_arcs: list[AuditArc] = []
     for node in iter_postorder(document.root):
         for arc in node.arcs:
             if isinstance(arc, ConditionalArc):
                 continue
-            source = resolve_path(node, arc.source)
-            destination = resolve_path(node, arc.destination)
-            delta_ms, epsilon_ms = arc.window_ms(timebase)
-            audit_arcs.append(AuditArc(
-                owner_path=paths[id(node)],
-                description=arc.describe(),
-                strictness=arc.strictness,
-                src_begin=arc.src_anchor is Anchor.BEGIN,
-                dst_begin=arc.dst_anchor is Anchor.BEGIN,
-                offset_ms=timebase.to_ms(arc.offset),
-                delta_ms=delta_ms,
-                epsilon_ms=epsilon_ms,
-                source_events=events_under(source),
-                dest_events=events_under(destination)))
+            audit_arcs.append(build_audit_arc(
+                node, arc, paths, timebase, compiled, event_slot))
 
     nav_arcs: list[NavArc] = []
     for node in iter_preorder(document.root):
         for arc in node.arcs:
-            try:
-                source = resolve_path(node, arc.source)
-                destination = resolve_path(node, arc.destination)
-            except PathError as exc:
-                # Only conditional arcs can defer: explicit arcs with
-                # broken endpoints already raised in the audit pass
-                # above, like every interpretive play() does.
-                nav_arcs.append(NavArc(
-                    owner_path=paths[id(node)],
-                    description=arc.describe(),
-                    strictness=arc.strictness,
-                    source_events=(), dest_events=(), error=exc))
-                continue
-            nav_arcs.append(NavArc(
-                owner_path=paths[id(node)],
-                description=arc.describe(),
-                strictness=arc.strictness,
-                source_events=events_under(source),
-                dest_events=events_under(destination)))
+            nav_arcs.append(build_nav_arc(
+                node, arc, paths, compiled, event_slot))
 
     return PlaybackProgram(
         schedule=schedule,
@@ -450,6 +494,21 @@ class ProgramCache:
     their names.  Like the schedule cache, entries pin their schedule
     so ``id()`` reuse is impossible, and a document edit (revision
     bump) moves the key.
+
+    Superseded revisions are evicted eagerly: inserting an entry for a
+    document drops every entry of the *same document* at a different
+    revision (those keys embed the old ``id(schedule)`` and can never
+    be probed again, so without this a long edit session leaks an
+    entry per edit per level).  The live-edit patcher instead calls
+    :meth:`take` *before* the revision moves, re-keying the still-valid
+    compiled programs it patched in place.
+
+    The key's third slot classifies the pyramid level an entry belongs
+    to — ``None`` for the base playback program, an environment
+    fingerprint for an adaptation composition, ``("derived", tag)``
+    for schedule-derived artifacts such as navigation programs — which
+    is what lets the patcher dirty (and recompile) levels selectively;
+    :meth:`level_of` names the classification.
     """
 
     def __init__(self, capacity: int = 8) -> None:
@@ -462,12 +521,51 @@ class ProgramCache:
         self._entries: collections.OrderedDict[
             tuple, tuple[Schedule, PlaybackProgram]] = \
             collections.OrderedDict()
+        #: id(document) -> set of live keys, so superseded-revision
+        #: eviction and live-edit re-keying never scan the whole table.
+        self._by_document: dict[int, set] = {}
 
     @staticmethod
     def _key(schedule: Schedule,
              environment: SystemEnvironment | None = None) -> tuple:
         return (id(schedule), schedule.compiled.document.revision,
                 None if environment is None else environment.fingerprint())
+
+    @staticmethod
+    def level_of(slot) -> str:
+        """The pyramid level a key's third slot classifies.
+
+        ``"program"`` — the base playback program; ``"adaptation"`` —
+        an environment-fingerprint composition; any derived tag (for
+        example ``"navigation"``) names itself.
+        """
+        if slot is None:
+            return "program"
+        if isinstance(slot, tuple) and len(slot) == 2 \
+                and slot[0] == "derived":
+            return slot[1]
+        return "adaptation"
+
+    def _insert(self, schedule: Schedule, key: tuple, value) -> None:
+        document = schedule.compiled.document
+        doc_keys = self._by_document.setdefault(id(document), set())
+        revision = key[1]
+        stale = [old for old in doc_keys if old[1] != revision]
+        for old in stale:
+            doc_keys.discard(old)
+            self._entries.pop(old, None)
+        self._entries[key] = (schedule, value)
+        self._entries.move_to_end(key)
+        doc_keys.add(key)
+        while len(self._entries) > self.capacity:
+            evicted_key, (evicted_schedule, _) = \
+                self._entries.popitem(last=False)
+            evicted_doc = id(evicted_schedule.compiled.document)
+            keys = self._by_document.get(evicted_doc)
+            if keys is not None:
+                keys.discard(evicted_key)
+                if not keys:
+                    del self._by_document[evicted_doc]
 
     def get(self, schedule: Schedule, *,
             environment: SystemEnvironment | None = None
@@ -483,11 +581,7 @@ class ProgramCache:
 
     def put(self, schedule: Schedule, program: PlaybackProgram, *,
             environment: SystemEnvironment | None = None) -> None:
-        key = self._key(schedule, environment)
-        self._entries[key] = (schedule, program)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        self._insert(schedule, self._key(schedule, environment), program)
 
     def get_derived(self, schedule: Schedule, tag: str):
         """A derived compiled artifact keyed by (schedule, revision, tag).
@@ -511,10 +605,39 @@ class ProgramCache:
     def put_derived(self, schedule: Schedule, tag: str, value) -> None:
         key = (id(schedule), schedule.compiled.document.revision,
                ("derived", tag))
-        self._entries[key] = (schedule, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        self._insert(schedule, key, value)
+
+    def take(self, schedule: Schedule) -> dict:
+        """Remove and return every entry pinned to ``schedule``.
+
+        The result maps each entry's level slot (see :meth:`level_of`)
+        to its cached value.  The live-edit patcher calls this before a
+        document's revision moves, patches the values in place, and
+        re-inserts them under the successor schedule with
+        :meth:`restore` — the only path on which a superseded entry
+        survives an edit.
+        """
+        document = schedule.compiled.document
+        taken: dict = {}
+        doc_keys = self._by_document.get(id(document))
+        if not doc_keys:
+            return taken
+        for key in [key for key in doc_keys
+                    if key[0] == id(schedule)]:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] is not schedule:
+                continue
+            doc_keys.discard(key)
+            del self._entries[key]
+            taken[key[2]] = entry[1]
+        if not doc_keys:
+            self._by_document.pop(id(document), None)
+        return taken
+
+    def restore(self, schedule: Schedule, slot, value) -> None:
+        """Re-insert a :meth:`take`-n entry under ``schedule``'s key."""
+        key = (id(schedule), schedule.compiled.document.revision, slot)
+        self._insert(schedule, key, value)
 
     def program_for(self, schedule: Schedule) -> PlaybackProgram:
         """The schedule's base (environment-free) program, compiled at
@@ -529,6 +652,7 @@ class ProgramCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._by_document.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -808,6 +932,11 @@ class BatchPlayer:
         self.kernel = resolve_kernel(kernel)
         self.program = (program if program is not None
                         else compile_program(schedule, cache=program_cache))
+        #: The program patch generation this player's caches reflect;
+        #: a live edit bumps the program's shared epoch and the next
+        #: :meth:`_transformed` call flushes everything derived from
+        #: the patched arrays.
+        self._patch_seen = self.program.patch_epoch[0]
         # Per-configuration caches, all LRU-bounded: a long-lived
         # serving player sees arbitrary per-reader rates/seeks, and
         # each entry holds O(events) arrays — these must not grow with
@@ -857,6 +986,17 @@ class BatchPlayer:
         the scaled clock) without building any ``Schedule`` or
         ``ScheduledEvent`` objects.
         """
+        epoch = self.program.patch_epoch[0]
+        if epoch != self._patch_seen:
+            # A live edit patched the compiled arrays in place: every
+            # cache derived from them is stale.  ``_transformed`` is
+            # the single entry every replay and seek goes through, so
+            # checking here covers all four tables.
+            self._patch_seen = epoch
+            self._transforms.clear()
+            self._nav.clear()
+            self._plans.clear()
+            self._latencies.clear()
         freezing = freeze_at_ms is not None and freeze_duration_ms > 0
         key = (rate, freeze_at_ms if freezing else None,
                freeze_duration_ms if freezing else 0.0)

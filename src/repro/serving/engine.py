@@ -47,6 +47,7 @@ from repro.kernel import resolve_kernel
 from repro.pipeline.adaptation import (adapted_navigation_for,
                                        adapted_program_for)
 from repro.pipeline.navprogram import random_trace
+from repro.pipeline.patch import EditRecord, LiveEditor
 from repro.pipeline.program import BatchPlayer, PlaybackProgram, \
     ProgramCache
 from repro.timing.schedule import (ENGINE_GRAPH, SCHEDULE_ENGINES,
@@ -141,6 +142,9 @@ class ServingReport:
     schedule_cache: ScheduleCache | None = None
     program_cache: ProgramCache | None = None
     requirements_cache: RequirementsCache | None = None
+    #: Per-edit delta-lowering outcomes when the run carried a live
+    #: edit script (``serve(edit_script=...)``), in application order.
+    edit_records: list[EditRecord] = field(default_factory=list)
 
     @property
     def sessions(self) -> int:
@@ -187,6 +191,13 @@ class ServingReport:
                       self.program_cache):
             if cache is not None:
                 lines.append(f"  {cache.describe()}")
+        if self.edit_records:
+            patched = sum(1 for record in self.edit_records
+                          if record.mode == "patched")
+            lines.append(f"  live edits: {len(self.edit_records)} "
+                         f"applied, {patched} patched in place")
+            lines.extend(f"    {record.explain()}"
+                         for record in self.edit_records)
         return "\n".join(lines)
 
 
@@ -255,6 +266,9 @@ class SessionEngine:
         self._players: collections.OrderedDict[
             tuple, tuple[PlaybackProgram, BatchPlayer]] = \
             collections.OrderedDict()
+        #: id(document) -> (document, live editor); pinning the
+        #: document keeps id() reuse impossible.
+        self._editors: dict[int, tuple[CmifDocument, LiveEditor]] = {}
 
     # -- shared-resource plumbing -----------------------------------------
 
@@ -281,6 +295,78 @@ class SessionEngine:
         while len(self._players) > PLAYER_CACHE_CAPACITY:
             self._players.popitem(last=False)
         return player
+
+    # -- live authoring ------------------------------------------------------
+
+    def editor_for(self, document: CmifDocument) -> LiveEditor:
+        """The document's live editor over this engine's shared caches.
+
+        One editor per document, kept for the engine's lifetime: it
+        owns the incremental solver state that makes successive edits
+        O(affected events), and it adopts the exact schedule object the
+        admission path published so the cached program pyramid patches
+        in place instead of going cold.
+        """
+        entry = self._editors.get(id(document))
+        if entry is not None and entry[0] is document:
+            return entry[1]
+        editor = LiveEditor(document,
+                            schedule_cache=self.schedule_cache,
+                            program_cache=self.program_cache)
+        self._editors[id(document)] = (document, editor)
+        return editor
+
+    def apply_edit(self, document: CmifDocument, spec: dict, *,
+                   sessions=()) -> EditRecord:
+        """Apply one live edit while sessions are being served.
+
+        Lowers the edit onto every cached compiled program (see
+        :class:`~repro.pipeline.patch.LiveEditor`), then re-points the
+        given sessions of this document at the document's current
+        schedule and program — a swap the run queue only ever observes
+        between quanta.  Editing a document invalidates its cached
+        requirement profile (edits can change descriptors/channels), so
+        the profile is re-derived lazily on the next admission.
+        """
+        editor = self.editor_for(document)
+        for item in sessions:
+            session = (item.session
+                       if isinstance(item, (InteractiveSession,
+                                            BatchTask)) else item)
+            if session.admitted and session.document is document:
+                editor.register_environment(session.environment)
+        record = editor.apply(spec)
+        self._resync(document, editor, sessions)
+        return record
+
+    def _resync(self, document: CmifDocument, editor: LiveEditor,
+                sessions) -> None:
+        """Re-point live sessions of ``document`` at the edited state."""
+        schedule = editor.schedule
+        for item in sessions:
+            interactive = isinstance(item, InteractiveSession)
+            session = (item.session
+                       if isinstance(item, (InteractiveSession,
+                                            BatchTask)) else item)
+            if not session.admitted or session.document is not document:
+                continue
+            session.schedule = schedule
+            environment = session.environment
+            desired = self.program_cache.get(schedule,
+                                             environment=environment)
+            if desired is None:
+                # The edit dropped this environment's composition (an
+                # unregistered fingerprint on the structural path):
+                # recompile it lazily, once, here.
+                desired = adapted_program_for(
+                    schedule, environment,
+                    program_cache=self.program_cache)
+            if desired is not session.program:
+                session.program = desired
+                session.player = self._player_for(schedule, desired,
+                                                  environment)
+            if interactive:
+                item.resync()
 
     # -- admission ----------------------------------------------------------
 
@@ -375,7 +461,7 @@ class SessionEngine:
     def drive(self, sessions, replays: int = 1, *, rate: float = 1.0,
               seek_to_ms: float = 0.0,
               choices: ScriptedChoices | None = None,
-              workers: int = 1) -> int:
+              workers: int = 1, edits=None) -> int:
         """Interleave mixed batch + interactive sessions, run-queue style.
 
         ``sessions`` may mix plain :class:`Session` objects (wrapped as
@@ -411,7 +497,8 @@ class SessionEngine:
             elif item.admitted:
                 tasks.append(BatchTask(item, replays, rate=rate,
                                        seek_to_ms=seek_to_ms))
-        if workers > 1 and choices is None and len(tasks) > 1:
+        if workers > 1 and choices is None and edits is None \
+                and len(tasks) > 1:
             performed = self._drive_parallel(tasks, workers)
             if performed is not None:
                 self.last_queue = None
@@ -419,7 +506,9 @@ class SessionEngine:
         queue = RunQueue(tasks, choices=(choices if choices is not None
                                          else ScriptedChoices()))
         start = time.perf_counter()
-        queue.drive()
+        # Live edits mutate shared program state, so edited drives are
+        # always serial: one process, edits applied between quanta.
+        queue.drive(edits=edits)
         elapsed = time.perf_counter() - start
         performed = queue.replays
         # Wall time attributed proportionally to each environment's share.
@@ -481,7 +570,8 @@ class SessionEngine:
               sessions_per_pair: int = 1, replays: int = 1,
               rate: float = 1.0, seek_to_ms: float = 0.0,
               interactive_per_pair: int = 0, follows: int = 2,
-              workers: int = 1) -> ServingReport:
+              workers: int = 1,
+              edit_script=None) -> ServingReport:
         """Admit and drive a whole corpus against environment profiles.
 
         ``documents`` is an iterable of :class:`CmifDocument`;
@@ -494,6 +584,15 @@ class SessionEngine:
         the run queue.  Admission always runs in this process (it warms
         the shared caches); ``workers`` > 1 shards the drive — see
         :meth:`drive`.
+
+        ``edit_script`` is a list of JSON edit specs (the
+        ``serve --edit-script`` format — see
+        :meth:`~repro.pipeline.patch.LiveEditor.apply`) applied live
+        while the sessions run.  Each spec may carry ``at_step`` (the
+        scheduler step to fire at, default 0) and ``document`` (the
+        0-based index of the target document, default 0); delta-lowered
+        outcomes land on the report's ``edit_records``.  Edited serves
+        run serial — the edits mutate shared program state.
         """
         if sessions_per_pair < 1:
             raise ValueError_("sessions_per_pair must be at least 1, "
@@ -515,9 +614,23 @@ class SessionEngine:
                     sessions.append(self.admit_interactive(
                         document, environment, follows=follows,
                         rate=rate))
-        if replays > 0 or interactive_per_pair > 0:
+        edit_records: list[EditRecord] = []
+        edits = None
+        if edit_script:
+            def make_edit(spec: dict):
+                target = documents[int(spec.get("document", 0))]
+
+                def apply() -> None:
+                    edit_records.append(self.apply_edit(
+                        target, spec, sessions=sessions))
+                return apply
+
+            edits = [(int(spec.get("at_step", 0)), make_edit(spec))
+                     for spec in edit_script]
+        if replays > 0 or interactive_per_pair > 0 or edits:
             self.drive(sessions, replays, rate=rate,
-                       seek_to_ms=seek_to_ms, workers=workers)
+                       seek_to_ms=seek_to_ms, workers=workers,
+                       edits=edits)
         wall_seconds = time.perf_counter() - wall_start
         ordered = [self.stats[environment.name].delta_since(
                        before.get(environment.name))
@@ -529,7 +642,8 @@ class SessionEngine:
             wall_seconds=wall_seconds,
             schedule_cache=self.schedule_cache,
             program_cache=self.program_cache,
-            requirements_cache=self.requirements_cache)
+            requirements_cache=self.requirements_cache,
+            edit_records=edit_records)
 
     def describe(self) -> str:
         lines = [f"session engine: {self.session_count} session(s) "

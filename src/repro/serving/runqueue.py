@@ -65,6 +65,10 @@ class InteractiveSession:
         self.reports: list[CompactReport] = []
         self.jumps: list[Jump] = []
         self.state = RUNNING if session.admitted else DONE
+        #: Set by :meth:`resync` after a live edit patched the document
+        #: under this reader; gates the lenient navigation handling so
+        #: un-edited sessions keep exact reference behavior.
+        self._edited = False
 
     @property
     def session_id(self) -> int:
@@ -85,6 +89,31 @@ class InteractiveSession:
     @property
     def navigations_done(self) -> int:
         return len(self.jumps)
+
+    def resync(self) -> None:
+        """Pick up a live edit: re-read the navigation program's tables.
+
+        Delta-lowering refreshes the shared
+        :class:`~repro.pipeline.navprogram.NavigationProgram` *in
+        place*, but each reader session copied its link list and
+        schedule pointer at construction; re-copy them so the reader's
+        remaining trace resolves against the edited document.  The
+        reader keeps their position and history — an author's edit must
+        not restart anyone's presentation.  From here on navigation
+        misses (a followed link the edit removed, a choice point the
+        edit moved behind the reader) end the session instead of
+        raising: the reader's scripted plan may reference a document
+        that no longer exists, which is the author's doing, not an
+        engine bug.
+        """
+        self._edited = True
+        navigator = self.navigator
+        if navigator is None:
+            return
+        program = getattr(navigator, "program", None)
+        if program is not None:
+            navigator.schedule = program.schedule
+            navigator.links = list(program.links)
 
     def choose(self, condition: str) -> None:
         """Provide the reader's choice; only valid while blocked."""
@@ -112,14 +141,31 @@ class InteractiveSession:
                 seek_to_ms=position if position > 0 else 0.0)
             self.reports.append(report)
             if self.cursor < len(self.trace):
-                self.navigator.advance_to(self.trace[self.cursor].at_ms)
+                try:
+                    self.navigator.advance_to(
+                        self.trace[self.cursor].at_ms)
+                except NavigationError:
+                    if not self._edited:
+                        raise
+                    # A live edit moved the next choice point behind
+                    # the reader; their scripted pass is over.
+                    self.state = DONE
+                    return self.state
                 self.state = BLOCKED_ON_CHOICE
             else:
                 self.state = DONE
         elif self.state == SEEKING:
             condition = self.pending
             self.pending = None
-            jump = self.navigator.follow(condition)
+            try:
+                jump = self.navigator.follow(condition)
+            except NavigationError:
+                if not self._edited:
+                    raise
+                # The link this reader was promised no longer exists
+                # (or its window moved) after a live edit.
+                self.state = DONE
+                return self.state
             self.jumps.append(jump)
             self.cursor += 1
             self.session.navigations += 1
@@ -288,9 +334,26 @@ class RunQueue:
             self.waiting.append((self.steps + delay, self._order, task,
                                  condition))
 
-    def drive(self, *, max_steps: int | None = None) -> QueueStats:
-        """Run until every task is DONE or parked awaiting input."""
+    def drive(self, *, max_steps: int | None = None,
+              edits=None) -> QueueStats:
+        """Run until every task is DONE or parked awaiting input.
+
+        ``edits`` is an optional iterable of ``(at_step, apply)``
+        callbacks — live authoring edits scheduled against scheduler
+        time.  Each fires once its step count is due, always *between*
+        quanta: no session is ever mid-replay when the program arrays
+        underneath it change, which is the safe replay boundary the
+        live-edit equivalence pin relies on.  Edits still pending when
+        the queue drains fire at the end (so a script longer than the
+        workload is applied in full).
+        """
+        pending = (collections.deque(
+            sorted(edits, key=lambda entry: entry[0]))
+            if edits is not None else None)
         while True:
+            if pending:
+                while pending and pending[0][0] <= self.steps:
+                    pending.popleft()[1]()
             self._release_ready()
             if not self.queue:
                 if self.waiting:
@@ -315,6 +378,9 @@ class RunQueue:
                 self._block(task)
             else:
                 self.queue.append(task)
+        if pending:
+            while pending:
+                pending.popleft()[1]()
         return self.stats()
 
     def stats(self) -> QueueStats:

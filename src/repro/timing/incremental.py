@@ -53,7 +53,14 @@ from repro.timing.solver import IncrementalSolver, RELAX_DROP_LAST
 
 @dataclass
 class EngineStats:
-    """Bookkeeping for the edit→reschedule loop (benches assert on it)."""
+    """Bookkeeping for the edit→reschedule loop (benches assert on it).
+
+    The ``*_patched`` / ``*_recompiled`` counters belong to the
+    delta-lowering layer (:mod:`repro.pipeline.patch`): they measure
+    how precisely each edit's invalidation was contained — programs and
+    adaptations updated in place versus pyramid levels that had to be
+    recompiled — which is what the live-edit bench gates on.
+    """
 
     edits: int = 0
     incremental_solves: int = 0
@@ -61,11 +68,30 @@ class EngineStats:
     fallbacks: int = 0
     last_mode: str = ""
     last_changed_vars: int = 0
+    #: Delta-lowering counters (filled by the live-edit patcher).
+    events_touched: int = 0
+    programs_patched: int = 0
+    programs_recompiled: int = 0
+    adaptations_patched: int = 0
+    adaptations_recompiled: int = 0
+    navigations_patched: int = 0
+    navigations_recompiled: int = 0
 
     def describe(self) -> str:
-        return (f"{self.edits} edit(s): {self.incremental_solves} "
+        base = (f"{self.edits} edit(s): {self.incremental_solves} "
                 f"incremental, {self.full_rebuilds} full rebuild(s), "
                 f"{self.fallbacks} fallback(s)")
+        if not (self.programs_patched or self.programs_recompiled
+                or self.adaptations_patched
+                or self.adaptations_recompiled):
+            return base
+        return (f"{base}; {self.events_touched} event(s) touched, "
+                f"programs {self.programs_patched} patched / "
+                f"{self.programs_recompiled} recompiled, adaptations "
+                f"{self.adaptations_patched} patched / "
+                f"{self.adaptations_recompiled} recompiled, navigation "
+                f"{self.navigations_patched} patched / "
+                f"{self.navigations_recompiled} recompiled")
 
 
 class IncrementalScheduler:
@@ -97,6 +123,11 @@ class IncrementalScheduler:
         self.solver: IncrementalSolver | None = None
         self._schedule: Schedule | None = None
         self._conflict: SchedulingConflict | None = None
+        #: Node paths whose solved times the last edit moved — the
+        #: changed schedule region delta-lowering patches from.  None
+        #: means the last edit rebuilt the pipeline (no localized
+        #: region exists); an empty set means a no-op edit.
+        self.last_changed_paths: set[str] | None = None
         self._rebuild()
 
     # -- pipeline state --------------------------------------------------
@@ -132,6 +163,27 @@ class IncrementalScheduler:
             self.cache.put(self.document, self._schedule,
                            channel_serialization=self.channel_serialization,
                            relaxation_policy=self.relaxation_policy)
+
+    def adopt_schedule(self, schedule: Schedule) -> None:
+        """Adopt an externally solved schedule object for this document.
+
+        The serving caches key compiled programs by schedule *identity*:
+        an editor attaching to an already-admitted document must speak
+        about the same schedule object the engine published, or its
+        first edit would orphan every cached program.  All solve paths
+        are pinned bit-identical, so adopting swaps objects, never
+        values.
+
+        Adopts the schedule's compiled document too: attribute edits
+        write through ``self.compiled``'s events (a retime updates the
+        event's duration in place), and those must be the very event
+        objects the adopted schedule wraps.
+        """
+        self.compiled = schedule.compiled
+        self._schedule = schedule
+        self._events_by_path = {event.event.node_path: event
+                                for event in schedule.events}
+        self._publish()
 
     @property
     def schedule(self) -> Schedule:
@@ -226,6 +278,7 @@ class IncrementalScheduler:
     def _full_path(self) -> None:
         self.stats.last_mode = "rebuild"
         self.stats.last_changed_vars = -1
+        self.last_changed_paths = None
         self._rebuild()
 
     def _absorb(self, delta: ConstraintDelta) -> None:
@@ -238,6 +291,7 @@ class IncrementalScheduler:
             # revision moved: republish the same schedule under it.
             self.stats.last_mode = "noop"
             self.stats.last_changed_vars = 0
+            self.last_changed_paths = set()
             self._publish()
             return
         self.index.apply(delta)
@@ -255,6 +309,7 @@ class IncrementalScheduler:
         self.stats.incremental_solves += 1
         changed = outcome.changed or set()
         self.stats.last_changed_vars = len(changed)
+        self.last_changed_paths = {var.path for var in changed}
         self._patch_schedule(changed)
 
     def _patch_schedule(self, changed_vars: set) -> None:

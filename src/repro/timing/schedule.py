@@ -277,8 +277,19 @@ class ScheduleCache:
     def put(self, document: CmifDocument, schedule: Schedule, *,
             channel_serialization: bool = True,
             relaxation_policy: str = RELAX_DROP_LAST) -> None:
-        """Store a schedule under the document's current revision."""
+        """Store a schedule under the document's current revision.
+
+        Entries of the same document at *other* revisions are evicted:
+        their keys embed a superseded revision and can never be probed
+        again (``get`` always keys on the current revision), so keeping
+        them would leak one entry per edit for as long as the document
+        lives.
+        """
         key = self._key(document, channel_serialization, relaxation_policy)
+        stale = [old for old in self._entries
+                 if old[0] == id(document) and old[1] != document.revision]
+        for old in stale:
+            del self._entries[old]
         self._entries[key] = (document, schedule)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:

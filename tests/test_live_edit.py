@@ -1,0 +1,392 @@
+"""Live authoring against a hot serving fleet (repro.pipeline.patch).
+
+The pin, same discipline as every other compiled layer: a delta-lowered
+edit patch over the cached program pyramid is **bit-identical** to a
+cold recompile of the edited document — arrays, arc rows, adaptation
+compositions, navigation tables and replay reports — across randomized
+edit scripts, environments and both numeric kernels.  Plus the
+satellites: bounded caches across long edit sessions, per-level
+patch/recompile counters, targeted structural fallback that never
+touches other documents' entries, and the serving ``edit_script``
+entry point.
+"""
+
+import copy
+import random
+
+import pytest
+
+from repro.core import edit as core_edit
+from repro.core.syncarc import (Anchor, ConditionalArc, Strictness,
+                                SyncArc)
+from repro.core.timebase import MediaTime
+from repro.corpus import make_media_document
+from repro.pipeline.navprogram import compile_navigation
+from repro.pipeline.program import compile_program
+from repro.serving import SessionEngine
+from repro.timing.schedule import schedule_for
+from repro.transport import PROFILES
+
+KERNELS = ("python", "numpy")
+
+
+def _kernel(name: str) -> str:
+    if name == "numpy":
+        pytest.importorskip("numpy")
+    return name
+
+
+def _hot_engine(documents, *, kernel: str = "python", seed: int = 9,
+                interactive: bool = True):
+    """An engine with batch + interactive sessions over ``documents``."""
+    engine = SessionEngine(seed=seed, kernel=_kernel(kernel))
+    sessions = []
+    for document in documents:
+        for environment in PROFILES:
+            sessions.append(engine.admit(document, environment))
+            if interactive:
+                sessions.append(
+                    engine.admit_interactive(document, environment))
+    return engine, sessions
+
+
+def _assert_program_equal(hot, cold):
+    assert list(hot.begin_ms) == list(cold.begin_ms)
+    assert list(hot.end_ms) == list(cold.end_ms)
+    assert list(hot.channel_index) == list(cold.channel_index)
+    assert list(hot.medium_index) == list(cold.medium_index)
+    assert hot.node_paths == cold.node_paths
+    assert hot.channels == cold.channels
+    assert hot.media == cold.media
+    assert hot._audit_rows == cold._audit_rows
+    assert ([(arc.owner_path, arc.source_events, arc.dest_events,
+              arc.strictness, arc.description)
+             for arc in hot.nav_arcs]
+            == [(arc.owner_path, arc.source_events, arc.dest_events,
+                 arc.strictness, arc.description)
+                for arc in cold.nav_arcs])
+
+
+def _assert_navigation_equal(hot, cold):
+    assert hot.active_from == cold.active_from
+    assert hot.active_until == cold.active_until
+    assert hot.conditions == cold.conditions
+    assert hot.targets == cold.targets
+    assert hot.destinations == cold.destinations
+    assert ([(g.src_begin_ms, g.src_end_ms, g.dst_begin_ms)
+             for g in hot.guards]
+            == [(g.src_begin_ms, g.src_end_ms, g.dst_begin_ms)
+                for g in cold.guards])
+
+
+def _report_arrays(report):
+    return (list(report._actual_begin), list(report._actual_end),
+            list(report._played_mask))
+
+
+def _assert_pyramid_matches_cold(engine, document, twin, *,
+                                 kernel: str = "python"):
+    """Everything cached for ``document`` ≡ cold-compiling ``twin``."""
+    editor = engine.editor_for(document)
+    schedule = editor.schedule
+    cold_schedule = schedule_for(twin, kernel=_kernel(kernel))
+    hot_base = engine.program_cache.get(schedule)
+    assert hot_base is not None
+    cold_base = compile_program(cold_schedule)
+    _assert_program_equal(hot_base, cold_base)
+    for environment in PROFILES:
+        hot = engine.program_cache.get(schedule, environment=environment)
+        if hot is None:
+            continue
+        _assert_program_equal(hot, cold_base)
+        if hot.adaptation is not None:
+            from repro.pipeline.adaptation import adaptation_for
+            cold_ad = adaptation_for(cold_schedule, environment)
+            assert hot.adaptation.descriptor_ids == cold_ad.descriptor_ids
+            assert hot.adaptation.op_slot == cold_ad.op_slot
+            assert hot.adaptation.actions == cold_ad.actions
+            assert hot.adaptation.overrides == cold_ad.overrides
+    hot_nav = engine.program_cache.get_derived(schedule, "navigation")
+    if hot_nav is not None:
+        _assert_navigation_equal(hot_nav, compile_navigation(cold_schedule))
+    # Replay through the patched player ≡ replay of the cold program,
+    # under an explicit shared jitter stream.
+    player = engine._player_for(schedule, hot_base, PROFILES[0])
+    from repro.pipeline.program import BatchPlayer
+    cold_player = BatchPlayer(cold_schedule, PROFILES[0],
+                              program=cold_base,
+                              kernel=engine.kernel)
+    hot_report = player.run_one(rng=random.Random(1234))
+    cold_report = cold_player.run_one(rng=random.Random(1234))
+    assert _report_arrays(hot_report) == _report_arrays(cold_report)
+
+
+class TestRetimePatch:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_retime_patch_bit_identical(self, kernel):
+        document = make_media_document(3, events=14, links=2)
+        twin = make_media_document(3, events=14, links=2)
+        engine, sessions = _hot_engine([document], kernel=kernel)
+        leaf = engine.schedule_cache.get(document) \
+            .events[0].event.node_path
+        record = engine.apply_edit(
+            document, {"op": "retime", "path": leaf,
+                       "duration_ms": 4321.0}, sessions=sessions)
+        core_edit.retime(twin, leaf, 4321.0)
+        assert record.mode == "patched"
+        assert record.events_touched > 0
+        assert record.programs_recompiled == 0
+        assert record.programs_patched > 0
+        _assert_pyramid_matches_cold(engine, document, twin,
+                                     kernel=kernel)
+
+    def test_patch_preserves_program_identity_and_players(self):
+        """Timing edits keep program/player objects hot (the point)."""
+        document = make_media_document(3, events=14, links=2)
+        engine, sessions = _hot_engine([document])
+        session = next(s for s in sessions
+                       if getattr(s, "admitted", False)
+                       and not hasattr(s, "navigator"))
+        program_before = session.program
+        player_before = session.player
+        leaf = session.schedule.events[0].event.node_path
+        engine.apply_edit(document,
+                          {"op": "retime", "path": leaf,
+                           "duration_ms": 777.0}, sessions=sessions)
+        assert session.program is program_before
+        assert session.player is player_before
+        assert session.schedule is engine.editor_for(document).schedule
+
+
+class TestRandomizedEditScripts:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_random_script_stays_bit_identical(self, seed, kernel):
+        document = make_media_document(5 + seed, events=12, links=2)
+        twin = make_media_document(5 + seed, events=12, links=2)
+        engine, sessions = _hot_engine([document], kernel=kernel)
+        rng = random.Random(991 + seed)
+        added_arcs: list[str] = []  # owner paths of script-added arcs
+
+        def leaves():
+            return [event.event.node_path for event
+                    in engine.editor_for(document).schedule.events]
+
+        for step in range(12):
+            choice = rng.random()
+            if choice < 0.5 or not leaves():
+                path = rng.choice(leaves())
+                duration = float(rng.randrange(100, 5000))
+                spec = {"op": "retime", "path": path,
+                        "duration_ms": duration}
+                core_edit.retime(twin, path, duration)
+            elif choice < 0.75:
+                pool = leaves()
+                source = rng.choice(pool)
+                destination = rng.choice(pool)
+                offset = float(rng.randrange(0, 200))
+                spec = {"op": "add_arc", "owner": "/",
+                        "source": source, "destination": destination,
+                        "src_anchor": "end", "dst_anchor": "begin",
+                        "strictness": "may", "offset_ms": offset}
+                core_edit.add_arc(twin, "/", SyncArc(
+                    source=source, destination=destination,
+                    src_anchor=Anchor.END, dst_anchor=Anchor.BEGIN,
+                    strictness=Strictness.MAY,
+                    offset=MediaTime.ms(offset)))
+                added_arcs.append("/")
+            elif choice < 0.9 and added_arcs:
+                owner = added_arcs.pop()
+                root = engine.editor_for(document).document.root
+                index = len(root.arcs) - 1
+                spec = {"op": "remove_arc", "owner": owner,
+                        "index": index}
+                core_edit.remove_arc(twin, owner, index)
+            else:
+                path = rng.choice(leaves())
+                name = f"copy{step}"
+                spec = {"op": "duplicate", "path": path, "name": name}
+                core_edit.duplicate(twin, path, name)
+            engine.apply_edit(document, spec, sessions=sessions)
+            _assert_pyramid_matches_cold(engine, document, twin,
+                                         kernel=kernel)
+        stats = engine.editor_for(document).stats
+        assert stats.programs_patched + stats.programs_recompiled > 0
+
+    def test_edited_serving_drive_completes(self):
+        """After edits, the whole mixed fleet still drives to DONE."""
+        document = make_media_document(3, events=14, links=2)
+        engine, sessions = _hot_engine([document])
+        leaf = engine.schedule_cache.get(document) \
+            .events[0].event.node_path
+        engine.apply_edit(document,
+                          {"op": "retime", "path": leaf,
+                           "duration_ms": 50.0}, sessions=sessions)
+        engine.apply_edit(document,
+                          {"op": "duplicate", "path": leaf,
+                           "name": "tail"}, sessions=sessions)
+        performed = engine.drive(sessions, replays=2)
+        assert performed > 0
+        assert engine.last_queue is not None
+        assert not engine.last_queue.blocked
+
+
+class TestCacheRetention:
+    def test_program_cache_bounded_across_100_edits(self):
+        """The satellite leak fix: superseded revisions are evicted."""
+        document = make_media_document(3, events=14, links=2)
+        engine, sessions = _hot_engine([document])
+        baseline_programs = len(engine.program_cache)
+        baseline_schedules = len(engine.schedule_cache)
+        leaves = [event.event.node_path for event
+                  in engine.schedule_cache.get(document).events]
+        rng = random.Random(7)
+        for index in range(100):
+            engine.apply_edit(
+                document,
+                {"op": "retime", "path": rng.choice(leaves),
+                 "duration_ms": float(100 + index)},
+                sessions=sessions)
+            assert len(engine.program_cache) <= baseline_programs
+            assert len(engine.schedule_cache) <= baseline_schedules
+        # Still perfectly warm: the entries moved with the revisions.
+        assert len(engine.program_cache) == baseline_programs
+
+    def test_editor_is_cached_per_document(self):
+        document = make_media_document(3, events=12)
+        engine = SessionEngine()
+        engine.admit(document, PROFILES[0])
+        assert engine.editor_for(document) is engine.editor_for(document)
+
+
+class TestStructuralFallback:
+    def test_structural_edit_recompiles_only_this_document(self):
+        """Per-level dirty classification: the other document's cached
+        pyramid is untouched, object-for-object."""
+        edited = make_media_document(3, events=12, links=1)
+        bystander = make_media_document(4, events=12, links=1)
+        engine, sessions = _hot_engine([edited, bystander])
+        bystander_schedule = engine.schedule_cache.get(bystander)
+        bystander_entries = {
+            environment.name: engine.program_cache.get(
+                bystander_schedule, environment=environment)
+            for environment in PROFILES}
+        bystander_base = engine.program_cache.get(bystander_schedule)
+        bystander_begin = list(bystander_base.begin_ms)
+        leaf = engine.schedule_cache.get(edited) \
+            .events[0].event.node_path
+        record = engine.apply_edit(
+            edited, {"op": "duplicate", "path": leaf, "name": "extra"},
+            sessions=sessions)
+        assert record.mode == "recompiled"
+        assert record.programs_patched == 0
+        assert record.programs_recompiled == 1
+        assert record.adaptations_recompiled > 0
+        assert record.navigations_recompiled == 1
+        # Bystander entries: same objects, same arrays, same key.
+        assert engine.program_cache.get(bystander_schedule) \
+            is bystander_base
+        assert list(bystander_base.begin_ms) == bystander_begin
+        for environment in PROFILES:
+            assert engine.program_cache.get(
+                bystander_schedule, environment=environment) \
+                is bystander_entries[environment.name]
+
+    def test_feasible_after_infeasible_edit(self):
+        """A conflicting edit stays applied and is reported; serving
+        state survives and a later edit restores feasibility."""
+        document = make_media_document(3, events=12)
+        engine, sessions = _hot_engine([document], interactive=False)
+        schedule = engine.schedule_cache.get(document)
+        leaf = schedule.events[0].event.node_path
+        from repro.core.errors import CmifError
+        with pytest.raises(CmifError):
+            engine.apply_edit(
+                document,
+                {"op": "remove", "path": "/nonexistent-node"},
+                sessions=sessions)
+        records = engine.editor_for(document).records
+        assert records and records[-1].mode == "conflict"
+        record = engine.apply_edit(
+            document, {"op": "retime", "path": leaf,
+                       "duration_ms": 900.0}, sessions=sessions)
+        assert record.mode in ("patched", "recompiled")
+
+
+class TestConditionalArcs:
+    def test_conditional_arc_updates_navigation_not_timing(self):
+        document = make_media_document(3, events=14, links=1)
+        twin = make_media_document(3, events=14, links=1)
+        engine, sessions = _hot_engine([document])
+        editor = engine.editor_for(document)
+        before_begin = list(
+            engine.program_cache.get(editor.schedule).begin_ms)
+        nav_before = engine.program_cache.get_derived(
+            editor.schedule, "navigation")
+        links_before = len(nav_before.links)
+        schedule = editor.schedule
+        source = schedule.events[0].event.node_path
+        destination = schedule.events[-1].event.node_path
+        record = engine.apply_edit(
+            document,
+            {"op": "add_arc", "owner": "/", "source": source,
+             "destination": destination, "strictness": "may",
+             "condition": "bonus"},
+            sessions=sessions)
+        core_edit.add_arc(twin, "/", ConditionalArc(
+            condition="bonus", source=source, destination=destination,
+            strictness=Strictness.MAY))
+        assert record.mode == "patched"
+        assert record.events_touched == 0
+        assert record.navigations_patched == 1
+        hot = engine.program_cache.get(editor.schedule)
+        assert list(hot.begin_ms) == before_begin
+        nav_after = engine.program_cache.get_derived(
+            editor.schedule, "navigation")
+        assert nav_after is nav_before  # refreshed in place
+        assert len(nav_after.links) == links_before + 1
+        _assert_pyramid_matches_cold(engine, document, twin)
+
+
+class TestServeEditScript:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_serve_applies_script_and_reports(self, kernel):
+        documents = [make_media_document(s, events=12, links=1)
+                     for s in (1, 2)]
+        twins = [make_media_document(s, events=12, links=1)
+                 for s in (1, 2)]
+        leaf0 = schedule_for(documents[0]).events[0].event.node_path
+        leaf1 = schedule_for(documents[1]).events[1].event.node_path
+        script = [
+            {"op": "retime", "path": leaf0, "duration_ms": 900.0,
+             "at_step": 2},
+            {"op": "retime", "path": leaf1, "duration_ms": 1500.0,
+             "at_step": 4, "document": 1},
+        ]
+        engine = SessionEngine(seed=3, kernel=_kernel(kernel))
+        report = engine.serve(documents, list(PROFILES),
+                              sessions_per_pair=1, replays=2,
+                              interactive_per_pair=1,
+                              edit_script=script)
+        assert len(report.edit_records) == 2
+        assert all(record.mode == "patched"
+                   for record in report.edit_records)
+        assert "live edits: 2 applied" in report.describe()
+        core_edit.retime(twins[0], leaf0, 900.0)
+        core_edit.retime(twins[1], leaf1, 1500.0)
+        for document, twin in zip(documents, twins):
+            _assert_pyramid_matches_cold(engine, document, twin,
+                                         kernel=kernel)
+
+    def test_edit_script_forces_serial_drive(self):
+        documents = [make_media_document(s, events=12) for s in (1, 2)]
+        leaf = schedule_for(documents[0]).events[0].event.node_path
+        engine = SessionEngine(seed=3)
+        report = engine.serve(
+            documents, list(PROFILES), sessions_per_pair=2, replays=2,
+            workers=4,
+            edit_script=[{"op": "retime", "path": leaf,
+                          "duration_ms": 444.0, "at_step": 1}])
+        assert len(report.edit_records) == 1
+        # A parallel drive would have left last_queue unset.
+        assert engine.last_queue is not None
