@@ -245,7 +245,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     edit_script = (_load_edit_script(args.edit_script)
                    if args.edit_script else None)
     engine = SessionEngine(engine=args.engine, seed=args.seed,
-                           kernel=args.kernel)
+                           kernel=args.kernel, faults=args.faults)
     report = engine.serve(documents, environments,
                           sessions_per_pair=args.sessions,
                           replays=args.replays,
@@ -423,7 +423,8 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     report = ingest_corpus(paths, engine=args.engine,
                            relaxation_policy=args.policy,
                            compile_programs=not args.no_programs,
-                           kernel=kernel, workers=args.workers)
+                           kernel=kernel, workers=args.workers,
+                           faults=args.faults)
     print(report.describe())
     print(f"  kernel={kernel.name} workers={args.workers}")
     return 1 if report.failures else 0
@@ -571,6 +572,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1, metavar="N",
                        help="shard the drive across N processes "
                             "(default 1; counters identical to serial)")
+    serve.add_argument("--faults", metavar="PLAN", default=None,
+                       help="fault-injection plan: 'standard', a "
+                            "key=value CSV spec (e.g. "
+                            "'seed=7,flap=site-1,blocks=0.05'), inline "
+                            "JSON, or a .json file (default: the "
+                            "REPRO_FAULTS environment variable, else "
+                            "no faults)")
     serve.add_argument("--edit-script", metavar="FILE",
                        help="JSON list of live edits applied while "
                             "sessions run (each: op fields plus "
@@ -659,6 +667,11 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--workers", type=int, default=1, metavar="N",
                         help="shard the corpus across N processes "
                              "(default 1; report identical to serial)")
+    ingest.add_argument("--faults", metavar="PLAN", default=None,
+                        help="fault-injection plan: 'standard', a "
+                             "key=value CSV spec, inline JSON, or a "
+                             ".json file (default: the REPRO_FAULTS "
+                             "environment variable, else no faults)")
     ingest.set_defaults(handler=cmd_ingest)
 
     news = commands.add_parser("news",

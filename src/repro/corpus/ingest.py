@@ -16,13 +16,25 @@ solver and the reason cold scheduling clears the ingest gate
 (``benchmarks/bench_ingest.py``).
 
 Failures are per-document: a malformed file or an unsatisfiable
-constraint set is recorded (with its stage) and the stream moves on —
-one bad document must not stop a catalog.
+constraint set is recorded (with its stage *and its category*) and the
+stream moves on — one bad document must not stop a catalog.  Categories
+drive the recovery policy (:func:`classify_failure`): ``parse_error``
+and ``solve_conflict`` are properties of the document — retrying cannot
+fix them, so they are quarantined immediately; ``infrastructure``
+failures (I/O, store, transport, injected faults) are transient by
+nature and retried under a bounded :class:`~repro.faults.RetryPolicy`
+before quarantine.  Under a :class:`~repro.faults.FaultPlan` (explicit
+or via ``REPRO_FAULTS``) the pipeline additionally injects transient
+per-document faults and worker-process crashes — a dead shard's
+documents are re-ingested serially in the parent, so the report stays
+identical to the fault-free run.  All of it lands in the report's
+:class:`~repro.faults.RobustnessStats`.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -32,9 +44,12 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.document import CmifDocument
-from repro.core.errors import CmifError
+from repro.core.errors import (CmifError, SchedulingConflict, StoreError,
+                               TransportError)
 from repro.corpus.generate import (make_deep_document, make_flat_document,
                                    make_random_document)
+from repro.faults import (WORKER_CRASH_EXIT, FaultInjected, FaultPlan,
+                          RetryPolicy, RobustnessStats, resolve_faults)
 from repro.format.parser import parse_document
 from repro.format.writer import write_document
 from repro.pipeline.program import PlaybackProgram, ProgramCache, \
@@ -49,6 +64,31 @@ INGEST_STAGES = ("parse", "compile", "solve", "program")
 
 #: Document shapes :func:`generate_corpus` cycles through.
 CORPUS_SHAPES = ("flat", "deep", "random")
+
+#: Failure categories (:func:`classify_failure`), deciding the recovery
+#: policy: only ``infrastructure`` failures are worth retrying.
+CATEGORY_PARSE_ERROR = "parse_error"
+CATEGORY_SOLVE_CONFLICT = "solve_conflict"
+CATEGORY_INFRASTRUCTURE = "infrastructure"
+FAILURE_CATEGORIES = (CATEGORY_PARSE_ERROR, CATEGORY_SOLVE_CONFLICT,
+                      CATEGORY_INFRASTRUCTURE)
+
+
+def classify_failure(error: BaseException) -> str:
+    """Which failure category an ingest exception belongs to.
+
+    ``infrastructure`` — I/O, store, transport and injected faults:
+    transient by nature, worth retrying.  ``solve_conflict`` — the
+    document's constraint set is unsatisfiable: deterministic, never
+    retried.  ``parse_error`` — everything else the pipeline rejects
+    about the document itself: deterministic, never retried.
+    """
+    if isinstance(error, (FaultInjected, OSError, StoreError,
+                          TransportError)):
+        return CATEGORY_INFRASTRUCTURE
+    if isinstance(error, SchedulingConflict):
+        return CATEGORY_SOLVE_CONFLICT
+    return CATEGORY_PARSE_ERROR
 
 
 @dataclass
@@ -67,14 +107,20 @@ class IngestedDocument:
 
 @dataclass
 class IngestFailure:
-    """One document the pipeline had to skip, and where it failed."""
+    """One quarantined document: where it failed, and what kind of
+    failure it was (:data:`FAILURE_CATEGORIES`)."""
 
     path: Path
     stage: str
     error: str
+    category: str = CATEGORY_PARSE_ERROR
+    #: True when the failure was an injected (simulated) fault — used
+    #: by the recovery accounting, not part of the user-facing report.
+    injected: bool = field(default=False, repr=False, compare=False)
 
     def __str__(self) -> str:
-        return f"{self.path.name} [{self.stage}]: {self.error}"
+        return (f"{self.path.name} [{self.stage}/{self.category}]: "
+                f"{self.error}")
 
 
 @dataclass
@@ -96,6 +142,9 @@ class IngestReport:
     wall_seconds: float = 0.0
     schedule_cache: ScheduleCache | None = None
     program_cache: ProgramCache | None = None
+    #: Fault/recovery ledger: injected faults, retries, quarantines,
+    #: worker-crash reshards.
+    robustness: RobustnessStats = field(default_factory=RobustnessStats)
 
     @property
     def document_count(self) -> int:
@@ -104,6 +153,14 @@ class IngestReport:
     @property
     def total_events(self) -> int:
         return sum(entry.events for entry in self.documents)
+
+    @property
+    def failure_categories(self) -> dict[str, int]:
+        """Quarantined documents per failure category (nonzero only)."""
+        counts: dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.category] = counts.get(failure.category, 0) + 1
+        return counts
 
     def stage_throughput(self, stage: str) -> tuple[float, float]:
         """``(documents/s, events/s)`` for one stage (0.0 when unused)."""
@@ -137,6 +194,9 @@ class IngestReport:
             lines.append(f"  {self.schedule_cache.describe()}")
         if self.program_cache is not None:
             lines.append(f"  {self.program_cache.describe()}")
+        if not self.robustness.empty:
+            for line in self.robustness.describe().splitlines():
+                lines.append(f"  {line}")
         for failure in self.failures:
             lines.append(f"  FAILED {failure}")
         return "\n".join(lines)
@@ -157,7 +217,9 @@ def ingest_corpus(source: Path | str | Sequence[Path], *,
                   program_cache: ProgramCache | None = None,
                   pattern: str = "*.cmif",
                   kernel=None,
-                  workers: int = 1) -> IngestReport:
+                  workers: int = 1,
+                  faults: FaultPlan | str | None = None,
+                  retry: RetryPolicy | None = None) -> IngestReport:
     """Stream a corpus through parse → compile → solve → program.
 
     ``source`` is a directory (scanned with ``pattern``) or an explicit
@@ -174,6 +236,16 @@ def ingest_corpus(source: Path | str | Sequence[Path], *,
     parent's caches from the shipped artifacts, so the report (and the
     cache contents) are identical to a ``workers=1`` run except for
     the ``*_seconds`` timings.
+
+    ``faults`` activates deterministic fault injection (a
+    :class:`~repro.faults.FaultPlan`, a spec string, or the
+    ``REPRO_FAULTS`` environment default); ``retry`` bounds how often
+    an ``infrastructure`` failure is retried before the document is
+    quarantined — permanent failures (``parse_error``,
+    ``solve_conflict``) are never retried.  A worker whose crash the
+    plan injects takes its shard down with it; the parent re-ingests
+    that shard serially, so the merged report matches the fault-free
+    run.
     """
     if engine not in SCHEDULE_ENGINES:
         raise CmifError(f"unknown ingest engine {engine!r}; expected one "
@@ -181,6 +253,9 @@ def ingest_corpus(source: Path | str | Sequence[Path], *,
     if workers < 1:
         raise CmifError(f"ingest workers must be at least 1, "
                         f"got {workers}")
+    faults = resolve_faults(faults)
+    if retry is None:
+        retry = RetryPolicy()
     if isinstance(source, (str, Path)):
         paths = corpus_paths(source, pattern)
     else:
@@ -195,16 +270,17 @@ def ingest_corpus(source: Path | str | Sequence[Path], *,
     if workers > 1 and len(paths) > 1:
         done = _ingest_parallel(paths, report, workers, engine,
                                 relaxation_policy, channel_serialization,
-                                compile_programs, kernel)
+                                compile_programs, kernel, faults, retry)
     else:
         done = False
     if not done:
         stage_seconds = report.stage_seconds
         for path in paths:
-            entry = _ingest_one(path, report, stage_seconds, engine,
-                                relaxation_policy, channel_serialization,
-                                compile_programs, schedule_cache,
-                                program_cache, kernel)
+            entry = _ingest_document(path, report, stage_seconds, engine,
+                                     relaxation_policy,
+                                     channel_serialization,
+                                     compile_programs, schedule_cache,
+                                     program_cache, kernel, faults, retry)
             if entry is not None:
                 report.documents.append(entry)
     report.wall_seconds = time.perf_counter() - wall_start
@@ -216,57 +292,115 @@ def _kernel_name(kernel) -> str | None:
     return getattr(kernel, "name", kernel)
 
 
-def _ingest_shard(args: tuple) -> IngestReport:
-    """Worker entry: ingest one contiguous path chunk, ship it back.
+def _ingest_chunk(chunk: list[Path], engine: str, relaxation_policy: str,
+                  channel_serialization: bool, compile_programs: bool,
+                  kernel, faults: FaultPlan | None,
+                  retry: RetryPolicy) -> IngestReport:
+    """Ingest one contiguous path chunk into a shippable shard report.
 
     Runs the serial pipeline with fresh private caches, then strips
     them — the parent re-warms its own caches from the shipped
     documents so shard boundaries never show in cache contents.
     """
-    (chunk, engine, relaxation_policy, channel_serialization,
-     compile_programs, kernel) = args
     shard = ingest_corpus(chunk, engine=engine,
                           relaxation_policy=relaxation_policy,
                           channel_serialization=channel_serialization,
                           compile_programs=compile_programs,
-                          kernel=kernel, workers=1)
+                          kernel=kernel, workers=1, faults=faults,
+                          retry=retry)
     shard.schedule_cache = None
     shard.program_cache = None
     return shard
 
 
+def _ingest_shard(args: tuple) -> IngestReport:
+    """Worker entry: honour an injected crash, else ingest the chunk."""
+    (chunk, engine, relaxation_policy, channel_serialization,
+     compile_programs, kernel, faults, retry, crash) = args
+    if crash:
+        # A planned worker crash: die the way a real worker does —
+        # no exception, no cleanup, the pool just loses the process.
+        os._exit(WORKER_CRASH_EXIT)
+    return _ingest_chunk(chunk, engine, relaxation_policy,
+                         channel_serialization, compile_programs, kernel,
+                         faults, retry)
+
+
 def _ingest_parallel(paths: list[Path], report: IngestReport,
                      workers: int, engine: str, relaxation_policy: str,
                      channel_serialization: bool, compile_programs: bool,
-                     kernel) -> bool:
+                     kernel, faults: FaultPlan | None,
+                     retry: RetryPolicy) -> bool:
     """Shard ``paths`` across a process pool and merge into ``report``.
 
     Returns False when no pool could be started (the caller then runs
     the serial path); shard failures inside the pipeline are per-
-    document and ride back in the shard reports like any other.
+    document and ride back in the shard reports like any other.  A
+    shard whose worker died (an injected crash, or a genuinely broken
+    pool) is re-ingested serially in the parent — the merged report is
+    the same either way, only the ``reshards`` counters show it.
     """
     shard_count = min(workers, len(paths))
     bounds = [len(paths) * index // shard_count
               for index in range(shard_count + 1)]
-    shard_args = [(paths[bounds[index]:bounds[index + 1]], engine,
-                   relaxation_policy, channel_serialization,
-                   compile_programs, _kernel_name(kernel))
+    chunks = [paths[bounds[index]:bounds[index + 1]]
+              for index in range(shard_count)]
+    # Workers never roll crash decisions themselves: the parent keys
+    # them by shard index (in-pool attempt only) so the serial re-run
+    # below cannot crash again.
+    child_faults = None if faults is None else faults.without_crashes()
+    shard_args = [(chunks[index], engine, relaxation_policy,
+                   channel_serialization, compile_programs,
+                   _kernel_name(kernel), child_faults, retry,
+                   faults is not None and faults.crashes_worker(index))
                   for index in range(shard_count)]
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:                                # pragma: no cover
         context = multiprocessing.get_context()
+    shards: list[IngestReport | None] = [None] * shard_count
+    failed_shards: list[int] = []
     try:
         with ProcessPoolExecutor(max_workers=shard_count,
                                  mp_context=context) as pool:
-            shards = list(pool.map(_ingest_shard, shard_args))
+            futures = [pool.submit(_ingest_shard, args)
+                       for args in shard_args]
+            for index, future in enumerate(futures):
+                try:
+                    shards[index] = future.result()
+                except (OSError, BrokenProcessPool,
+                        pickle.PicklingError):
+                    failed_shards.append(index)
     except (OSError, BrokenProcessPool, pickle.PicklingError):
         # No usable pool (restricted sandbox, unpicklable payloads):
         # the serial path is always correct, only slower.
         return False
+    robust = report.robustness
+    planned_crashes = 0 if faults is None else sum(
+        1 for index in range(shard_count)
+        if faults.crashes_worker(index))
+    if planned_crashes:
+        robust.record_fault("worker-crash", planned_crashes)
+        robust.worker_crashes += planned_crashes
+    for index in failed_shards:
+        # A broken pool fails every unfinished future, so which shards
+        # need resharding is timing-dependent — these counters are
+        # excluded from determinism assertions; the merged report is
+        # identical regardless.
+        robust.reshards += 1
+        robust.resharded_items += len(chunks[index])
+        shards[index] = _ingest_chunk(chunks[index], engine,
+                                      relaxation_policy,
+                                      channel_serialization,
+                                      compile_programs, kernel,
+                                      child_faults, retry)
+    if planned_crashes:
+        # The reshard re-runs above masked every planned crash.
+        robust.recovered += planned_crashes
     for shard in shards:
         report.documents.extend(shard.documents)
         report.failures.extend(shard.failures)
+        robust.merge(shard.robustness)
         for stage in INGEST_STAGES:
             report.stage_seconds[stage] += shard.stage_seconds[stage]
             report.stage_documents[stage] += shard.stage_documents[stage]
@@ -284,18 +418,70 @@ def _ingest_parallel(paths: list[Path], report: IngestReport,
     return True
 
 
+def _ingest_document(path: Path, report: IngestReport,
+                     stage_seconds: dict[str, float], engine: str,
+                     relaxation_policy: str, channel_serialization: bool,
+                     compile_programs: bool, schedule_cache: ScheduleCache,
+                     program_cache: ProgramCache | None, kernel,
+                     faults: FaultPlan | None,
+                     retry: RetryPolicy) -> IngestedDocument | None:
+    """One document through the pipeline, with the recovery policy.
+
+    ``infrastructure`` failures are retried up to the policy's attempt
+    budget; permanent failures (and exhausted retries) quarantine the
+    document — it is recorded in ``report.failures`` and the stream
+    moves on.  Returns the ingested document, or None on quarantine.
+    """
+    robust = report.robustness
+    attempt = 0
+    while True:
+        outcome = _ingest_one(path, report, stage_seconds, engine,
+                              relaxation_policy, channel_serialization,
+                              compile_programs, schedule_cache,
+                              program_cache, kernel, faults=faults,
+                              attempt=attempt)
+        if not isinstance(outcome, IngestFailure):
+            return outcome
+        attempt += 1
+        if (outcome.category == CATEGORY_INFRASTRUCTURE
+                and not retry.gives_up(attempt, 0.0)):
+            if attempt == 1:
+                robust.retried_documents += 1
+            robust.retries += 1
+            if outcome.injected:
+                robust.recovered += 1   # the retry masks this fault
+            continue
+        # Permanent failure, or the retry budget ran out: quarantine.
+        robust.quarantined += 1
+        if outcome.injected:
+            robust.unrecovered += 1
+        report.failures.append(outcome)
+        return None
+
+
 def _ingest_one(path: Path, report: IngestReport,
                 stage_seconds: dict[str, float], engine: str,
                 relaxation_policy: str, channel_serialization: bool,
                 compile_programs: bool, schedule_cache: ScheduleCache,
                 program_cache: ProgramCache | None,
-                kernel=None) -> IngestedDocument | None:
-    """One document through the pipeline; None (and a failure) on error."""
+                kernel=None, faults: FaultPlan | None = None,
+                attempt: int = 0) -> IngestedDocument | IngestFailure:
+    """One attempt at one document; the failure on error (not recorded
+    here — the caller's retry policy decides its fate)."""
     stage_documents = report.stage_documents
     stage_events = report.stage_events
     stage = "parse"
     start = time.perf_counter()
+    injected = False
     try:
+        if faults is not None and faults.fires(
+                faults.ingest_failure_rate, "ingest", path.name, attempt):
+            report.robustness.record_fault("ingest")
+            injected = True
+            raise FaultInjected(
+                "ingest", path.name,
+                f"transient ingest fault on {path.name} "
+                f"(attempt {attempt})")
         text = path.read_text(encoding="utf-8")
         document = parse_document(text)
         stage_seconds["parse"] += time.perf_counter() - start
@@ -334,8 +520,9 @@ def _ingest_one(path: Path, report: IngestReport,
         # the per-stage report would show a fast stage even when failing
         # documents dominate the wall clock.
         stage_seconds[stage] += time.perf_counter() - start
-        report.failures.append(IngestFailure(path, stage, str(error)))
-        return None
+        return IngestFailure(path, stage, str(error),
+                             category=classify_failure(error),
+                             injected=injected)
     return IngestedDocument(path=path, document=document,
                             schedule=schedule, program=program)
 

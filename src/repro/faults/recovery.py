@@ -1,0 +1,250 @@
+"""Recovery policies and the accounting that proves they worked.
+
+:class:`RetryPolicy` bounds how hard any layer tries before giving up
+(attempts, exponential backoff, a per-request deadline — backoff is
+charged to the traffic model's simulated clock, never slept).
+:class:`CircuitBreaker` stops a flapping site from eating every
+request's retry budget: after enough consecutive failures the breaker
+opens and requests are shorted locally until a cooldown expires, then a
+single half-open probe decides whether to close it again.
+
+:class:`RobustnessStats` is the ledger.  Every injection site records
+the fault it injected; every recovery site records what it did about
+one.  The books must balance — ``total_faults == recovered +
+unrecovered + absorbed`` — and the fault bench and tests assert that
+identity, so a fault that is silently dropped (or double-counted) is a
+test failure, not a mystery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and a deadline.
+
+    Backoff for attempt *n* (0-based, charged after the first failure)
+    is ``backoff_base_ms * backoff_factor ** n`` of *simulated* time.
+    A request abandons retrying when either ``max_attempts`` is reached
+    or its accumulated simulated time would exceed ``deadline_ms``.
+    """
+
+    max_attempts: int = 4
+    backoff_base_ms: float = 5.0
+    backoff_factor: float = 2.0
+    deadline_ms: float = 500.0
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Simulated backoff charged before retry number ``attempt``."""
+        return self.backoff_base_ms * (self.backoff_factor ** attempt)
+
+    def gives_up(self, attempt: int, elapsed_ms: float) -> bool:
+        """True when attempt number ``attempt`` must not be made."""
+        return (attempt >= self.max_attempts
+                or elapsed_ms >= self.deadline_ms)
+
+
+class CircuitBreaker:
+    """Per-site circuit breaker with half-open probing.
+
+    CLOSED passes requests through; ``failure_threshold`` consecutive
+    failures OPEN it.  While OPEN, requests are shorted (failed
+    locally, no attempt, no retry budget spent) until ``cooldown_ticks``
+    of the logical fault clock pass; the first request after cooldown
+    is a HALF_OPEN probe — success closes the breaker, failure reopens
+    it for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, failure_threshold: int = 4,
+                 cooldown_ticks: int = 8) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_ticks = cooldown_ticks
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = -1
+
+    def allow(self, tick: int) -> tuple[bool, bool]:
+        """May a request proceed at ``tick``?  Returns (allowed, probe).
+
+        A shorted request (``allowed`` False) must not touch the wire;
+        a probe (``allowed`` True, ``probe`` True) is the single
+        half-open trial request.
+        """
+        if self.state == self.CLOSED:
+            return True, False
+        if self.state == self.OPEN:
+            if tick - self.opened_at >= self.cooldown_ticks:
+                self.state = self.HALF_OPEN
+                return True, True
+            return False, False
+        # HALF_OPEN: one probe is already in flight this cooldown; any
+        # other request is shorted until the probe resolves.
+        return False, False
+
+    def record_success(self) -> bool:
+        """Note a successful request; True when this closed the breaker."""
+        closed = self.state == self.HALF_OPEN
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        return closed
+
+    def record_failure(self, tick: int) -> bool:
+        """Note a failed request; True when this opened the breaker."""
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+            self.opened_at = tick
+            return True
+        self.consecutive_failures += 1
+        if (self.state == self.CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self.state = self.OPEN
+            self.opened_at = tick
+            return True
+        return False
+
+
+@dataclass
+class RobustnessStats:
+    """The fault/recovery ledger threaded through every stats object.
+
+    Injection sites call :meth:`record_fault`; recovery sites bump the
+    outcome counters.  The accounting identity — every injected fault
+    is eventually ``recovered`` (a retry, failover, stale answer, or
+    degraded path served the request anyway), ``unrecovered`` (the
+    failure reached the caller), or ``absorbed`` (the fault cost only
+    simulated time, e.g. a latency spike) — is enforced by
+    :meth:`balanced`, which the fault bench gates on.
+    """
+
+    #: Injected faults by kind (``site-outage``, ``block``, ...).
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    #: Faults masked by a recovery action (request still succeeded).
+    recovered: int = 0
+    #: Faults whose failure reached the caller.
+    unrecovered: int = 0
+    #: Faults that only cost simulated time (latency spikes).
+    absorbed: int = 0
+
+    # Retry policy.
+    retries: int = 0
+    backoff_ms: float = 0.0
+    deadline_exhausted: int = 0
+
+    # Circuit breakers (shorts are local refusals, not injections).
+    breaker_opens: int = 0
+    breaker_shorts: int = 0
+    breaker_probes: int = 0
+    breaker_closes: int = 0
+
+    # Federation failover.
+    failovers: int = 0
+    stale_summaries: int = 0
+    partial_results: int = 0
+    checksum_rejects: int = 0
+
+    # Worker-pool crash recovery (reshard counts depend on pool timing
+    # — a broken pool fails every unfinished future — so they are
+    # excluded from determinism assertions; ``worker_crashes`` is not:
+    # it is computed from the plan).
+    worker_crashes: int = 0
+    reshards: int = 0
+    resharded_items: int = 0
+
+    # Ingest quarantine.
+    quarantined: int = 0
+    retried_documents: int = 0
+
+    # Serving degradation.
+    degraded_replays: int = 0
+    degraded_solves: int = 0
+    degraded_edits: int = 0
+
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        self.faults_injected[kind] = (
+            self.faults_injected.get(kind, 0) + count)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults_injected.values())
+
+    def balanced(self) -> bool:
+        """Does every injected fault have a recorded outcome?"""
+        return self.total_faults == (self.recovered + self.unrecovered
+                                     + self.absorbed)
+
+    def merge(self, other: "RobustnessStats") -> None:
+        """Fold ``other`` into this ledger (worker-shard merges)."""
+        for kind, count in other.faults_injected.items():
+            self.record_fault(kind, count)
+        for name in _MERGE_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def snapshot(self) -> "RobustnessStats":
+        clone = replace(self)
+        clone.faults_injected = dict(self.faults_injected)
+        return clone
+
+    def delta_since(self, before: "RobustnessStats") -> "RobustnessStats":
+        delta = RobustnessStats()
+        for kind, count in self.faults_injected.items():
+            dropped = count - before.faults_injected.get(kind, 0)
+            if dropped:
+                delta.faults_injected[kind] = dropped
+        for name in _MERGE_FIELDS:
+            setattr(delta, name,
+                    getattr(self, name) - getattr(before, name))
+        return delta
+
+    @property
+    def empty(self) -> bool:
+        return self.total_faults == 0 and all(
+            not getattr(self, name) for name in _MERGE_FIELDS)
+
+    def describe(self) -> str:
+        """Human-readable ledger: only the nonzero lines."""
+        lines = []
+        if self.faults_injected:
+            injected = ", ".join(
+                f"{kind}={count}" for kind, count
+                in sorted(self.faults_injected.items()))
+            lines.append(f"faults injected: {injected} "
+                         f"(total {self.total_faults})")
+            lines.append(f"outcomes: recovered={self.recovered} "
+                         f"unrecovered={self.unrecovered} "
+                         f"absorbed={self.absorbed} "
+                         f"[{'balanced' if self.balanced() else 'UNBALANCED'}]")
+        rows = (("retries", self.retries),
+                ("backoff_ms", round(self.backoff_ms, 3)),
+                ("deadline_exhausted", self.deadline_exhausted),
+                ("breaker_opens", self.breaker_opens),
+                ("breaker_shorts", self.breaker_shorts),
+                ("breaker_probes", self.breaker_probes),
+                ("breaker_closes", self.breaker_closes),
+                ("failovers", self.failovers),
+                ("stale_summaries", self.stale_summaries),
+                ("partial_results", self.partial_results),
+                ("checksum_rejects", self.checksum_rejects),
+                ("worker_crashes", self.worker_crashes),
+                ("reshards", self.reshards),
+                ("resharded_items", self.resharded_items),
+                ("quarantined", self.quarantined),
+                ("retried_documents", self.retried_documents),
+                ("degraded_replays", self.degraded_replays),
+                ("degraded_solves", self.degraded_solves),
+                ("degraded_edits", self.degraded_edits))
+        active = [f"{name}={value}" for name, value in rows if value]
+        if active:
+            lines.append("recovery: " + " ".join(active))
+        if not lines:
+            return "robustness: no faults, no recoveries"
+        return "\n".join(lines)
+
+
+_MERGE_FIELDS = tuple(name for name in RobustnessStats.__dataclass_fields__
+                      if name != "faults_injected")

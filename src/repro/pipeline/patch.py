@@ -560,6 +560,7 @@ class LiveEditor:
             record.mode = CONFLICT
             record.wall_seconds = time.perf_counter() - start
             self.records.append(record)
+            self.scheduler.stats.robustness.degraded_edits += 1
             raise
         changed = self.scheduler.last_changed_paths
         new_schedule = self.scheduler.schedule

@@ -98,6 +98,18 @@ class PlaybackReport:
     rate: float = 1.0
 
     @property
+    def played_count(self) -> int:
+        """Events played — duck-compatible with ``CompactReport``, so
+        serving callers can consume either report shape."""
+        return len(self.played)
+
+    def materialize(self) -> "PlaybackReport":
+        """This report already is the full form — duck-compatible with
+        ``CompactReport.materialize()`` for consumers that may hold
+        either shape (a degraded replay hands them this one)."""
+        return self
+
+    @property
     def must_violations(self) -> list[ArcAudit]:
         """Audits of must arcs that missed their window (hard errors)."""
         return [audit for audit in self.audits

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import collections
 import multiprocessing
+import os
 import pickle
 import random
 import time
@@ -43,6 +44,8 @@ from dataclasses import dataclass, field
 
 from repro.core.document import CmifDocument
 from repro.core.errors import ValueError_
+from repro.faults import (WORKER_CRASH_EXIT, FaultPlan, RobustnessStats,
+                          resolve_faults)
 from repro.kernel import resolve_kernel
 from repro.pipeline.adaptation import (adapted_navigation_for,
                                        adapted_program_for)
@@ -50,8 +53,9 @@ from repro.pipeline.navprogram import random_trace
 from repro.pipeline.patch import EditRecord, LiveEditor
 from repro.pipeline.program import BatchPlayer, PlaybackProgram, \
     ProgramCache
-from repro.timing.schedule import (ENGINE_GRAPH, SCHEDULE_ENGINES,
-                                   Schedule, ScheduleCache, schedule_for)
+from repro.timing.schedule import (ENGINE_GRAPH, ENGINE_REFERENCE,
+                                   SCHEDULE_ENGINES, Schedule,
+                                   ScheduleCache, schedule_for)
 from repro.transport.environments import SystemEnvironment
 from repro.transport.negotiate import negotiate
 from repro.transport.requirements import RequirementsCache
@@ -78,6 +82,9 @@ class EnvironmentStats:
     replays: int = 0
     events_played: int = 0
     navigations: int = 0
+    #: Replays served through the degraded interpretive fallback
+    #: (counted in ``replays`` too — they did complete).
+    degraded: int = 0
     admit_seconds: float = 0.0
     replay_seconds: float = 0.0
 
@@ -98,12 +105,14 @@ class EnvironmentStats:
                        if self.replay_seconds > 0 else 0.0)
         navigation = (f", {self.navigations} jumps"
                       if self.navigations else "")
+        degraded = (f", {self.degraded} degraded"
+                    if self.degraded else "")
         return (f"{self.name:<16} {self.sessions:5d} sessions "
                 f"({self.playable} playable / {self.filtered} filtered / "
                 f"{self.rejected} rejected)  "
                 f"{admission_rate:8.1f} admits/s  "
                 f"{self.replays:6d} replays ({replay_rate:8.1f}/s, "
-                f"{events_rate:10.0f} events/s{navigation})")
+                f"{events_rate:10.0f} events/s{navigation}{degraded})")
 
 
     def snapshot(self) -> "EnvironmentStats":
@@ -124,6 +133,7 @@ class EnvironmentStats:
             replays=self.replays - before.replays,
             events_played=self.events_played - before.events_played,
             navigations=self.navigations - before.navigations,
+            degraded=self.degraded - before.degraded,
             admit_seconds=self.admit_seconds - before.admit_seconds,
             replay_seconds=self.replay_seconds - before.replay_seconds)
 
@@ -145,6 +155,8 @@ class ServingReport:
     #: Per-edit delta-lowering outcomes when the run carried a live
     #: edit script (``serve(edit_script=...)``), in application order.
     edit_records: list[EditRecord] = field(default_factory=list)
+    #: This run's fault/recovery ledger (a delta, like the env rows).
+    robustness: RobustnessStats = field(default_factory=RobustnessStats)
 
     @property
     def sessions(self) -> int:
@@ -198,22 +210,32 @@ class ServingReport:
                          f"applied, {patched} patched in place")
             lines.extend(f"    {record.explain()}"
                          for record in self.edit_records)
+        if not self.robustness.empty:
+            lines.extend(f"  {line}" for line
+                         in self.robustness.describe().splitlines())
         return "\n".join(lines)
 
 
-def _drive_shard(tasks: list) -> tuple[int, list[EnvironmentStats]]:
-    """Worker entry: run one task shard on its own queue, ship deltas.
+def _drive_shard(tasks: list
+                 ) -> tuple[int, list[EnvironmentStats], RobustnessStats]:
+    """Run one task shard on its own queue; return the stat deltas.
 
     The unpickled tasks carry copies of the parent's stats rows (shared
     within the shard by pickle memoization), so the same proportional
     wall-time attribution as the serial drive lands on them; the deltas
-    against pre-drive snapshots are what travels back.
+    against pre-drive snapshots are what travels back.  The sessions'
+    shared robustness ledger travels back the same way (as a delta) so
+    degraded replays inside a worker still balance the parent's books.
     """
     rows: dict[int, tuple[EnvironmentStats, EnvironmentStats]] = {}
+    ledgers: dict[int, tuple[RobustnessStats, RobustnessStats]] = {}
     for task in tasks:
         stats = task.session.stats
         if stats is not None and id(stats) not in rows:
             rows[id(stats)] = (stats, stats.snapshot())
+        robust = task.session.robustness
+        if robust is not None and id(robust) not in ledgers:
+            ledgers[id(robust)] = (robust, robust.snapshot())
     queue = RunQueue(tasks, choices=ScriptedChoices())
     start = time.perf_counter()
     queue.drive()
@@ -227,8 +249,23 @@ def _drive_shard(tasks: list) -> tuple[int, list[EnvironmentStats]]:
                 shares[id(stats)] += task.replays_done
         for key, share in shares.items():
             rows[key][0].replay_seconds += elapsed * share / performed
+    robustness = RobustnessStats()
+    for robust, before in ledgers.values():
+        robustness.merge(robust.delta_since(before))
     return performed, [stats.delta_since(before)
-                       for stats, before in rows.values()]
+                       for stats, before in rows.values()], robustness
+
+
+def _drive_shard_guarded(args: tuple
+                         ) -> tuple[int, list[EnvironmentStats],
+                                    RobustnessStats]:
+    """Worker entry: honour an injected crash, else drive the shard."""
+    tasks, crash = args
+    if crash:
+        # A planned worker crash: die the way a real worker does — no
+        # exception, no cleanup, the pool just loses the process.
+        os._exit(WORKER_CRASH_EXIT)
+    return _drive_shard(tasks)
 
 
 class SessionEngine:
@@ -241,12 +278,18 @@ class SessionEngine:
                  requirements_cache: RequirementsCache | None = None,
                  schedule_capacity: int = 128,
                  program_capacity: int = 512,
-                 kernel=None) -> None:
+                 kernel=None,
+                 faults: FaultPlan | str | None = None) -> None:
         if engine not in SCHEDULE_ENGINES:
             raise ValueError_(f"unknown schedule engine {engine!r}; "
                               f"expected one of {SCHEDULE_ENGINES}")
         self.engine = engine
         self.kernel = resolve_kernel(kernel)
+        #: Fault plan for this engine's sessions (explicit, a spec
+        #: string, or the ``REPRO_FAULTS`` environment default).
+        self.faults = resolve_faults(faults)
+        #: Lifetime fault/recovery ledger (``serve`` reports deltas).
+        self.robustness = RobustnessStats()
         self.seed = seed
         self.prefetch_lead_ms = prefetch_lead_ms
         self.schedule_cache = (schedule_cache if schedule_cache is not None
@@ -390,14 +433,31 @@ class SessionEngine:
             environment=environment,
             negotiation=negotiation,
             seed=self.seed + self.session_count * SESSION_SEED_STRIDE,
-            stats=stats)
+            stats=stats,
+            faults=self.faults,
+            robustness=self.robustness if self.faults is not None
+            else None)
         stats.sessions += 1
         if negotiation.verdict == UNPLAYABLE:
             stats.rejected += 1
             stats.admit_seconds += time.perf_counter() - start
             return session
-        schedule = schedule_for(document, cache=self.schedule_cache,
-                                engine=self.engine, kernel=self.kernel)
+        plan = self.faults
+        if plan is not None and plan.fires(plan.solve_failure_rate,
+                                           "solve", self.session_count):
+            # The compiled solver "failed" for this admission: degrade
+            # to the retained interpretive reference engine, which is
+            # pinned bit-identical — the session is admitted with the
+            # exact same schedule, only the ledger shows the downgrade.
+            self.robustness.record_fault("solve")
+            self.robustness.degraded_solves += 1
+            self.robustness.recovered += 1
+            schedule = schedule_for(document, cache=self.schedule_cache,
+                                    engine=ENGINE_REFERENCE,
+                                    kernel=self.kernel)
+        else:
+            schedule = schedule_for(document, cache=self.schedule_cache,
+                                    engine=self.engine, kernel=self.kernel)
         program = adapted_program_for(schedule, environment,
                                       program_cache=self.program_cache,
                                       requirements=requirements)
@@ -528,29 +588,72 @@ class SessionEngine:
     def _drive_parallel(self, tasks: list, workers: int) -> int | None:
         """Drive contiguous task shards in a pool; merge stat deltas.
 
-        Returns None when no pool could be started or the task graph
-        does not pickle (players embed live transforms in some custom
-        setups) — the caller then falls back to the serial queue.
+        Returns None when no pool could be started — the caller then
+        falls back to the serial queue.  A shard whose worker died (an
+        injected crash from the fault plan, a genuinely broken pool, or
+        an unpicklable task graph) is re-driven serially in the parent
+        on the parent's own task objects — session replay outcomes
+        depend only on their own seeds, so the merged result matches a
+        ``workers=1`` drive exactly; only the ``reshards`` counters
+        show it happened.
         """
         shard_count = min(workers, len(tasks))
         bounds = [len(tasks) * index // shard_count
                   for index in range(shard_count + 1)]
         shards = [tasks[bounds[index]:bounds[index + 1]]
                   for index in range(shard_count)]
+        plan = self.faults
+        crash_flags = [plan is not None and plan.crashes_worker(index)
+                       for index in range(shard_count)]
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:                            # pragma: no cover
             context = multiprocessing.get_context()
+        results: list[tuple | None] = [None] * shard_count
+        failed_shards: list[int] = []
         try:
             with ProcessPoolExecutor(max_workers=shard_count,
                                      mp_context=context) as pool:
-                results = list(pool.map(_drive_shard, shards))
+                futures = [pool.submit(_drive_shard_guarded,
+                                       (shard, crash))
+                           for shard, crash in zip(shards, crash_flags)]
+                for index, future in enumerate(futures):
+                    try:
+                        results[index] = future.result()
+                    except (OSError, BrokenProcessPool,
+                            pickle.PicklingError, TypeError,
+                            AttributeError):
+                        failed_shards.append(index)
         except (OSError, BrokenProcessPool, pickle.PicklingError,
                 TypeError, AttributeError):
             return None
+        robust = self.robustness
+        planned_crashes = sum(1 for crash in crash_flags if crash)
+        if planned_crashes:
+            robust.record_fault("worker-crash", planned_crashes)
+            robust.worker_crashes += planned_crashes
         performed = 0
-        for shard_performed, deltas in results:
+        for index in failed_shards:
+            # Re-drive the dead shard in the parent, on the parent's
+            # own task objects: stats land directly on the engine rows,
+            # exactly as a serial drive would put them.  (A broken pool
+            # fails every unfinished future, so which shards show up
+            # here is timing-dependent — the reshard counters are
+            # excluded from determinism assertions.)
+            robust.reshards += 1
+            robust.resharded_items += len(shards[index])
+            shard_performed, _deltas, _robustness = \
+                _drive_shard(shards[index])
             performed += shard_performed
+        if planned_crashes:
+            # The reshard re-drives above masked every planned crash.
+            robust.recovered += planned_crashes
+        for result in results:
+            if result is None:
+                continue
+            shard_performed, deltas, shard_robustness = result
+            performed += shard_performed
+            robust.merge(shard_robustness)
             for delta in deltas:
                 row = self.stats.get(delta.name)
                 if row is None:                       # pragma: no cover
@@ -561,6 +664,7 @@ class SessionEngine:
                 row.replays += delta.replays
                 row.events_played += delta.events_played
                 row.navigations += delta.navigations
+                row.degraded += delta.degraded
                 row.replay_seconds += delta.replay_seconds
         return performed
 
@@ -604,6 +708,7 @@ class SessionEngine:
         environments = list(environments)
         before = {name: stats.snapshot()
                   for name, stats in self.stats.items()}
+        robustness_before = self.robustness.snapshot()
         wall_start = time.perf_counter()
         sessions: list = []
         for document in documents:
@@ -643,7 +748,8 @@ class SessionEngine:
             schedule_cache=self.schedule_cache,
             program_cache=self.program_cache,
             requirements_cache=self.requirements_cache,
-            edit_records=edit_records)
+            edit_records=edit_records,
+            robustness=self.robustness.delta_since(robustness_before))
 
     def describe(self) -> str:
         lines = [f"session engine: {self.session_count} session(s) "
@@ -653,4 +759,7 @@ class SessionEngine:
         lines.append(f"  {self.requirements_cache.describe()}")
         lines.append(f"  {self.schedule_cache.describe()}")
         lines.append(f"  {self.program_cache.describe()}")
+        if not self.robustness.empty:
+            lines.extend(f"  {line}" for line
+                         in self.robustness.describe().splitlines())
         return "\n".join(lines)

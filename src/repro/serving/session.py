@@ -11,6 +11,15 @@ Sessions are deterministic: each gets its own jitter seed derived from
 the engine seed and its session id, so any session's runs can be
 reproduced bit-for-bit regardless of how its replays interleave with
 other tenants'.
+
+That determinism is also what makes *graceful degradation* free of
+blast radius: when the engine's fault plan fails a compiled replay, the
+session falls back to the retained interpretive reference path
+(``Player.play_reference`` over a reference-solved schedule of the —
+possibly adapted — document), which PR 3's equivalence tests pin
+bit-identical to the compiled path.  A degraded replay therefore plays
+the exact same events with the exact same jitter draw; only the
+``degraded`` counters show it happened.
 """
 
 from __future__ import annotations
@@ -20,9 +29,12 @@ from dataclasses import dataclass, field
 
 from repro.core.document import CmifDocument
 from repro.core.errors import PlaybackError
+from repro.faults import FaultPlan, RobustnessStats
+from repro.pipeline.player import PlaybackReport, Player
 from repro.pipeline.program import BatchPlayer, CompactReport, \
     PlaybackProgram
-from repro.timing.schedule import Schedule
+from repro.timing.schedule import (ENGINE_REFERENCE, Schedule,
+                                   schedule_document)
 from repro.transport.environments import SystemEnvironment
 from repro.transport.negotiate import (FILTERABLE, NegotiationResult,
                                        PLAYABLE, UNPLAYABLE)
@@ -50,6 +62,14 @@ class Session:
     events_played: int = 0
     #: Link follows taken by this session's reader (interactive only).
     navigations: int = 0
+    #: The engine's fault plan and ledger (None = no injection).
+    faults: FaultPlan | None = field(default=None, repr=False,
+                                     compare=False)
+    robustness: RobustnessStats | None = field(default=None, repr=False,
+                                               compare=False)
+    #: Lazily built reference-solved schedule for degraded replays.
+    _degraded_schedule: Schedule | None = field(default=None, repr=False,
+                                                compare=False)
 
     @property
     def verdict(self) -> str:
@@ -85,6 +105,14 @@ class Session:
                 f"session {self.session_id} was not admitted "
                 f"({self.verdict} on {self.environment.name}); it cannot "
                 f"play")
+        plan = self.faults
+        if plan is not None and plan.fires(
+                plan.replay_failure_rate, "replay",
+                (self.session_id, self.replays_run)):
+            return self._play_degraded(
+                rate=rate, freeze_at_ms=freeze_at_ms,
+                freeze_duration_ms=freeze_duration_ms,
+                seek_to_ms=seek_to_ms)
         report = self.player.run_one(
             rate=rate, freeze_at_ms=freeze_at_ms,
             freeze_duration_ms=freeze_duration_ms,
@@ -95,6 +123,43 @@ class Session:
         if self.stats is not None:
             self.stats.replays += 1
             self.stats.events_played += report.played_count
+        return report
+
+    def _play_degraded(self, *, rate: float, freeze_at_ms: float | None,
+                       freeze_duration_ms: float,
+                       seek_to_ms: float) -> PlaybackReport:
+        """Serve one replay through the interpretive reference path.
+
+        The compiled replay was failed by the fault plan; the retained
+        reference path — the (adapted) document re-solved by the
+        reference engine, played by the tree-walking
+        :meth:`~repro.pipeline.player.Player.play_reference` loop with
+        this replay's own jitter draw — is bit-identical to it, so the
+        reader sees the same events and only the ledger records the
+        downgrade.
+        """
+        if self.robustness is not None:
+            self.robustness.record_fault("replay")
+        if self._degraded_schedule is None:
+            document = self.document
+            if self.program is not None \
+                    and self.program.adaptation is not None:
+                document = self.program.adaptation.adapt_document(document)
+            self._degraded_schedule = schedule_document(
+                document.compile(), engine=ENGINE_REFERENCE)
+        report = Player(self.environment).play_reference(
+            self._degraded_schedule, rate=rate, freeze_at_ms=freeze_at_ms,
+            freeze_duration_ms=freeze_duration_ms, seek_to_ms=seek_to_ms,
+            rng=self.rng_for(self.replays_run))
+        self.replays_run += 1
+        self.events_played += report.played_count
+        if self.robustness is not None:
+            self.robustness.degraded_replays += 1
+            self.robustness.recovered += 1
+        if self.stats is not None:
+            self.stats.replays += 1
+            self.stats.events_played += report.played_count
+            self.stats.degraded += 1
         return report
 
     def describe(self) -> str:

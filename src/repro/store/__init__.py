@@ -11,7 +11,8 @@ to the sites whose index summaries can match.
 
 from repro.store.datastore import DataStore, StoreStats, StoreSummary
 from repro.store.distributed import (DESCRIPTOR_WIRE_BYTES, FederatedStore,
-                                     NetworkModel, Site, TrafficStats,
+                                     FindOutcome, NetworkModel, Site,
+                                     SiteUnavailable, TrafficStats,
                                      summary_can_match, summary_wire_bytes)
 from repro.store.planner import IndexStep, Plan, build_plan, execute_plan
 from repro.store.query import (Always, And, Contains, DurationBetween, Eq,
@@ -22,9 +23,10 @@ from repro.store.query import (Always, And, Contains, DurationBetween, Eq,
 
 __all__ = [
     "DESCRIPTOR_WIRE_BYTES", "Always", "And", "Contains", "DataStore",
-    "DurationBetween", "Eq", "FederatedStore", "IndexStep", "MatchesAttr",
-    "MediumIs", "NetworkModel", "Not", "Or", "Plan", "Query", "Range",
-    "Site", "StoreStats", "StoreSummary", "TrafficStats", "always",
+    "DurationBetween", "Eq", "FederatedStore", "FindOutcome", "IndexStep",
+    "MatchesAttr", "MediumIs", "NetworkModel", "Not", "Or", "Plan",
+    "Query", "Range", "Site", "SiteUnavailable", "StoreStats",
+    "StoreSummary", "TrafficStats", "always",
     "attr_contains", "attr_eq", "attr_range", "build_plan",
     "criteria_query", "duration_between", "execute_plan", "iter_leaves",
     "keyword", "medium_is", "run", "summary_can_match",

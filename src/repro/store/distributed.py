@@ -41,6 +41,9 @@ from dataclasses import dataclass, field
 from repro.core.channels import Medium
 from repro.core.descriptors import DataBlock, DataDescriptor
 from repro.core.errors import StoreError
+from repro.faults import (CircuitBreaker, FaultClock, FaultInjected,
+                          FaultPlan, RetryPolicy, RobustnessStats,
+                          corrupt_block, parse_fault_plan)
 from repro.store.datastore import DataStore, StoreSummary
 from repro.store.query import (Always, And, Contains, DurationBetween, Eq,
                                MatchesAttr, MediumIs, Or, Query, Range,
@@ -151,15 +154,27 @@ class TrafficStats:
     payload_bytes: int = 0
     summary_bytes: int = 0
     simulated_ms: float = 0.0
+    #: Fault/recovery ledger for the federation's remote operations.
+    robustness: RobustnessStats = field(default_factory=RobustnessStats)
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero the *counters* only — warm state survives on purpose.
+
+        The federation's descriptor→site routing map, descriptor cache
+        and cached summaries live on :class:`FederatedStore`, not here,
+        and deliberately survive this reset: the benchmarks that call
+        ``traffic.reset()`` measure the *warm* request path (what
+        repeat traffic costs once routes are learned).  To measure a
+        cold start — counters and caches together — use
+        :meth:`FederatedStore.reset_traffic`.
+        """
         self.requests = 0
         self.requests_avoided = 0
         self.descriptor_bytes = 0
         self.payload_bytes = 0
         self.summary_bytes = 0
         self.simulated_ms = 0.0
+        self.robustness = RobustnessStats()
 
     @property
     def total_bytes(self) -> int:
@@ -181,6 +196,45 @@ class Site:
         return self.store.summary()
 
 
+class SiteUnavailable(StoreError):
+    """A remote operation failed after exhausting its retry budget.
+
+    ``pending`` counts the injected faults of the *final* attempt that
+    still await an outcome: the catcher must classify them — a replica
+    failover, stale summary, or partial result masks them
+    (``recovered``); re-raising to the caller makes them
+    ``unrecovered``.  A circuit-breaker short carries ``pending=0``
+    (shorting is a local refusal, not an injected fault).
+    """
+
+    def __init__(self, site: str, kind: str, key: object, *,
+                 pending: int, reason: str) -> None:
+        super().__init__(
+            f"site {site!r} unavailable for {kind} {key!r}: {reason}")
+        self.site = site
+        self.kind = kind
+        self.key = key
+        self.pending = pending
+        self.reason = reason
+
+
+@dataclass
+class FindOutcome:
+    """A federation search result with its completeness marked.
+
+    ``partial`` is True when any remote site could not be (fully)
+    consulted; ``unreachable_sites`` were skipped outright,
+    ``stale_sites`` were pruned against a stale cached summary (their
+    recent additions may be missing).  ``descriptors`` is never
+    speculative — everything listed really matched.
+    """
+
+    descriptors: list[DataDescriptor]
+    partial: bool = False
+    unreachable_sites: tuple[str, ...] = ()
+    stale_sites: tuple[str, ...] = ()
+
+
 class FederatedStore:
     """Several sites presenting one descriptor namespace.
 
@@ -194,8 +248,15 @@ class FederatedStore:
     redundant cache entry.
     """
 
+    #: Circuit-breaker tuning for remote sites (per-site breakers are
+    #: created lazily; only consulted when a fault plan is active).
+    BREAKER_THRESHOLD = 4
+    BREAKER_COOLDOWN_TICKS = 16
+
     def __init__(self, local: Site, remotes: list[Site], *,
-                 cache_payloads: bool = False) -> None:
+                 cache_payloads: bool = False,
+                 faults: FaultPlan | str | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         names = [local.name] + [site.name for site in remotes]
         if len(set(names)) != len(names):
             raise StoreError(f"duplicate site names in federation: {names}")
@@ -203,6 +264,13 @@ class FederatedStore:
         self.remotes = list(remotes)
         self.cache_payloads = cache_payloads
         self.traffic = TrafficStats()
+        # Faults are explicit-only here (no REPRO_FAULTS default): the
+        # federation's tests and benches assert exact traffic counts,
+        # and the chaos matrix exercises it through the higher layers.
+        self.faults = parse_fault_plan(faults)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_clock = FaultClock()
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._descriptor_cache: dict[str, DataDescriptor] = {}
         #: descriptor id -> name of the site that physically holds it.
         self._routes: dict[str, str] = {}
@@ -210,6 +278,112 @@ class FederatedStore:
             site.name: site for site in [local, *remotes]}
         #: last summary seen per remote site (refreshed by version).
         self._summaries: dict[str, StoreSummary] = {}
+
+    def reset_traffic(self, *, forget_caches: bool = True) -> None:
+        """Reset traffic counters and, by default, the warm state too.
+
+        With ``forget_caches`` (the default) the routing map, the
+        descriptor cache and the cached summaries are cleared together
+        with the counters, so subsequent measurements include the
+        warm-up traffic a cold federation would pay.  Pass
+        ``forget_caches=False`` for the counters-only behaviour of
+        ``traffic.reset()``.
+        """
+        self.traffic.reset()
+        if forget_caches:
+            self._descriptor_cache.clear()
+            self._routes.clear()
+            self._summaries.clear()
+
+    # -- guarded remote operations -----------------------------------------
+
+    def _breaker(self, site_name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(site_name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.BREAKER_THRESHOLD,
+                cooldown_ticks=self.BREAKER_COOLDOWN_TICKS)
+            self._breakers[site_name] = breaker
+        return breaker
+
+    def _remote_call(self, site: Site, kind: str, key: object, fetch,
+                     *, rate: float = 0.0):
+        """Run one remote operation under the fault plan's weather.
+
+        ``fetch(attempt)`` performs the actual operation and pays its
+        normal traffic accounting.  With no plan active this *is*
+        ``fetch(0)`` — the pre-fault code path, zero added cost.  With
+        a plan, each attempt ticks the fault clock, consults the site's
+        circuit breaker, and may be failed by a site outage, a
+        transient fault of this ``kind`` (probability ``rate``), or a
+        :class:`FaultInjected` raised inside ``fetch`` (e.g. a corrupt
+        payload caught by checksum).  Failed attempts pay one request
+        plus latency; retries add exponential backoff to the simulated
+        clock until the policy's attempt or deadline budget runs out,
+        then :class:`SiteUnavailable` carries the final attempt's
+        unclassified faults to the caller.
+        """
+        if self.faults is None:
+            return fetch(0)
+        plan = self.faults
+        policy = self.retry
+        robust = self.traffic.robustness
+        breaker = self._breaker(site.name)
+        elapsed_ms = 0.0
+        attempt = 0
+        while True:
+            tick = self.fault_clock.tick()
+            allowed, probe = breaker.allow(tick)
+            if not allowed:
+                robust.breaker_shorts += 1
+                raise SiteUnavailable(site.name, kind, key, pending=0,
+                                      reason="circuit breaker open")
+            if probe:
+                robust.breaker_probes += 1
+            failure = None
+            fetch_paid = False
+            if plan.site_down(site.name, tick):
+                robust.record_fault("site-outage")
+                failure = "site outage"
+            elif plan.fires(rate, kind, key, attempt):
+                robust.record_fault(kind)
+                failure = f"transient {kind} failure"
+            if failure is None:
+                try:
+                    result = fetch(attempt)
+                except FaultInjected as exc:
+                    failure = str(exc)      # fault already recorded
+                    fetch_paid = True       # ...and its traffic paid
+                else:
+                    if breaker.record_success():
+                        robust.breaker_closes += 1
+                    if plan.fires(plan.latency_rate, "latency", key,
+                                  attempt):
+                        robust.record_fault("latency")
+                        robust.absorbed += 1
+                        self.traffic.simulated_ms += plan.latency_spike_ms
+                    return result
+            # One injected fault is now pending an outcome.  An attempt
+            # that never reached fetch() still pays one request plus
+            # latency; a corrupt delivery already paid its transfer.
+            if not fetch_paid:
+                self.traffic.requests += 1
+                self.traffic.simulated_ms += site.network.latency_ms
+            elapsed_ms += site.network.latency_ms
+            if breaker.record_failure(tick):
+                robust.breaker_opens += 1
+            attempt += 1
+            if policy.gives_up(attempt, elapsed_ms):
+                if elapsed_ms >= policy.deadline_ms:
+                    robust.deadline_exhausted += 1
+                raise SiteUnavailable(site.name, kind, key, pending=1,
+                                      reason=failure)
+            backoff = policy.backoff_ms(attempt - 1)
+            robust.retries += 1
+            robust.backoff_ms += backoff
+            robust.recovered += 1       # the retry masks this fault
+            self.traffic.simulated_ms += backoff
+            elapsed_ms += backoff
 
     # -- routing -----------------------------------------------------------
 
@@ -244,35 +418,82 @@ class FederatedStore:
         cached = self._summaries.get(site.name)
         if cached is not None and cached.version == site.store.version:
             return cached
-        summary = site.summary()
-        size = summary_wire_bytes(summary)
-        self.traffic.requests += 1
-        self.traffic.summary_bytes += size
-        self.traffic.simulated_ms += site.network.transfer_ms(size)
+
+        def fetch(attempt: int) -> StoreSummary:
+            summary = site.summary()
+            size = summary_wire_bytes(summary)
+            self.traffic.requests += 1
+            self.traffic.summary_bytes += size
+            self.traffic.simulated_ms += site.network.transfer_ms(size)
+            return summary
+
+        rate = 0.0 if self.faults is None \
+            else self.faults.summary_failure_rate
+        summary = self._remote_call(
+            site, "summary", (site.name, site.store.version), fetch,
+            rate=rate)
         self._summaries[site.name] = summary
         return summary
 
     # -- descriptor path ---------------------------------------------------
 
+    def _holding_sites(self, descriptor_id: str) -> list[Site]:
+        """Candidate sites for an id: the routed one first, then every
+        other remote replica that holds it (failover order)."""
+        routed = self._routed_site(descriptor_id)
+        candidates = [] if routed is None else [routed]
+        for site in self.remotes:
+            if site is not routed and descriptor_id in site.store:
+                candidates.append(site)
+        return candidates
+
+    def _classify_failover(self, pending: int, failed: list[str]) -> None:
+        """A replica answered after ``failed`` sites did not: the
+        pending faults were masked by failover."""
+        if self.faults is None or not failed:
+            return
+        robust = self.traffic.robustness
+        robust.failovers += 1
+        robust.recovered += pending
+
     def descriptor(self, descriptor_id: str) -> DataDescriptor:
-        """Resolve a descriptor: local, cache, route, then probing."""
+        """Resolve a descriptor: local, cache, route, then probing.
+
+        Under an active fault plan an unavailable site fails over to
+        any other replica holding the id; only when every holder is
+        unavailable does the lookup fail.
+        """
         if descriptor_id in self.local.store:
             return self.local.store.descriptor(descriptor_id)
         cached = self._descriptor_cache.get(descriptor_id)
         if cached is not None:
             return cached
-        routed = self._routed_site(descriptor_id)
-        sites = [routed] if routed is not None else self.remotes
-        for site in sites:
-            if descriptor_id in site.store:
+        pending = 0
+        failed: list[str] = []
+        for site in self._holding_sites(descriptor_id):
+            def fetch(attempt: int, site: Site = site) -> DataDescriptor:
                 self.traffic.requests += 1
                 self.traffic.descriptor_bytes += DESCRIPTOR_WIRE_BYTES
                 self.traffic.simulated_ms += site.network.transfer_ms(
                     DESCRIPTOR_WIRE_BYTES)
-                descriptor = site.store.descriptor(descriptor_id)
-                self._descriptor_cache[descriptor_id] = descriptor
-                self._record_route(descriptor_id, site.name)
-                return descriptor
+                return site.store.descriptor(descriptor_id)
+
+            try:
+                descriptor = self._remote_call(
+                    site, "descriptor", descriptor_id, fetch)
+            except SiteUnavailable as exc:
+                pending += exc.pending
+                failed.append(site.name)
+                continue
+            self._classify_failover(pending, failed)
+            self._descriptor_cache[descriptor_id] = descriptor
+            self._record_route(descriptor_id, site.name)
+            return descriptor
+        if failed:
+            self.traffic.robustness.unrecovered += pending
+            raise StoreError(
+                f"descriptor {descriptor_id!r} unreachable: site(s) "
+                f"{', '.join(failed)} unavailable")
         raise StoreError(
             f"no site in the federation holds descriptor "
             f"{descriptor_id!r}")
@@ -299,33 +520,71 @@ class FederatedStore:
     # -- payload path ----------------------------------------------------------
 
     def block_for(self, descriptor_id: str) -> DataBlock:
-        """Fetch a payload block, paying transfer cost when remote."""
+        """Fetch a payload block, paying transfer cost when remote.
+
+        Under an active fault plan a delivery may be transiently failed
+        (``block_failure_rate``) or corrupted in flight
+        (``block_corrupt_rate``) — corruption is detected by checksum
+        and the fetch retried; an unavailable site fails over to any
+        other replica holding the id.
+        """
         if descriptor_id in self.local.store:
             return self.local.store.block_for(descriptor_id)
-        routed = self._routed_site(descriptor_id)
-        sites = [routed] if routed is not None else self.remotes
-        for site in sites:
-            if descriptor_id in site.store:
+        pending = 0
+        failed: list[str] = []
+        for site in self._holding_sites(descriptor_id):
+            def fetch(attempt: int, site: Site = site) -> DataBlock:
                 block = site.store.block_for(descriptor_id)
                 size = block.size_bytes
                 self.traffic.requests += 1
                 self.traffic.payload_bytes += size
                 self.traffic.simulated_ms += site.network.transfer_ms(size)
-                self._record_route(descriptor_id, site.name)
-                if self.cache_payloads:
-                    descriptor = site.store.descriptor(descriptor_id)
-                    if descriptor_id not in self.local.store:
-                        self.local.store.register(
-                            DataDescriptor(
-                                descriptor_id=descriptor.descriptor_id,
-                                medium=descriptor.medium,
-                                block_id=descriptor.block_id,
-                                attributes=dict(descriptor.attributes)),
-                            block)
-                    # The local copy now serves lookups; a stale cache
-                    # entry would shadow any later local update.
-                    self._descriptor_cache.pop(descriptor_id, None)
+                plan = self.faults
+                if plan is not None and plan.fires(
+                        plan.block_corrupt_rate, "block-corrupt",
+                        descriptor_id, attempt):
+                    robust = self.traffic.robustness
+                    robust.record_fault("block-corrupt")
+                    damaged = corrupt_block(block)
+                    if damaged.checksum() != block.checksum():
+                        robust.checksum_rejects += 1
+                        raise FaultInjected(
+                            "block-corrupt", descriptor_id,
+                            f"checksum mismatch on block for "
+                            f"{descriptor_id!r} from {site.name}")
+                    robust.absorbed += 1    # pragma: no cover
                 return block
+
+            rate = 0.0 if self.faults is None \
+                else self.faults.block_failure_rate
+            try:
+                block = self._remote_call(site, "block", descriptor_id,
+                                          fetch, rate=rate)
+            except SiteUnavailable as exc:
+                pending += exc.pending
+                failed.append(site.name)
+                continue
+            self._classify_failover(pending, failed)
+            self._record_route(descriptor_id, site.name)
+            if self.cache_payloads:
+                descriptor = site.store.descriptor(descriptor_id)
+                if descriptor_id not in self.local.store:
+                    self.local.store.register(
+                        DataDescriptor(
+                            descriptor_id=descriptor.descriptor_id,
+                            medium=descriptor.medium,
+                            block_id=descriptor.block_id,
+                            attributes=dict(descriptor.attributes)),
+                        block)
+                # The local copy now serves lookups; a stale cache
+                # entry would shadow any later local update.
+                self._descriptor_cache.pop(descriptor_id, None)
+            return block
+        if failed:
+            self.traffic.robustness.unrecovered += pending
+            raise StoreError(
+                f"block for {descriptor_id!r} unreachable: site(s) "
+                f"{', '.join(failed)} unavailable")
         raise StoreError(
             f"no site in the federation holds a block for "
             f"{descriptor_id!r}")
@@ -338,6 +597,15 @@ class FederatedStore:
         return self.find_where(criteria_query(criteria))
 
     def find_where(self, query: Query) -> list[DataDescriptor]:
+        """Planned attribute search; see :meth:`find_where_detailed`.
+
+        Under an active fault plan the result may silently be partial —
+        callers that need to know use :meth:`find_where_detailed`,
+        whose :class:`FindOutcome` marks incompleteness explicitly.
+        """
+        return self.find_where_detailed(query).descriptors
+
+    def find_where_detailed(self, query: Query) -> FindOutcome:
         """Planned attribute search across every site that can match.
 
         The local site answers through its own planner for free; each
@@ -347,20 +615,54 @@ class FederatedStore:
         ``traffic.requests_avoided``.  Contacted sites answer with
         matching descriptors at one request plus one descriptor's bytes
         per match — the section-6 search-key scenario.
+
+        Under an active fault plan, a site whose summary refresh fails
+        is pruned against its last cached summary instead (a *stale*
+        site: recent additions may be missed), and a site that cannot
+        be reached at all is skipped (*unreachable*).  Either case
+        marks the outcome ``partial``.
         """
         results = list(self.local.store.find_where(query))
         seen = {descriptor.descriptor_id for descriptor in results}
+        unreachable: list[str] = []
+        stale: list[str] = []
         for site in self.remotes:
-            summary = self._summary_for(site)
+            try:
+                summary = self._summary_for(site)
+            except SiteUnavailable as exc:
+                robust = self.traffic.robustness
+                cached = self._summaries.get(site.name)
+                if cached is None:
+                    # Nothing to prune with and the site is down:
+                    # serve without it, explicitly partial.
+                    robust.recovered += exc.pending
+                    unreachable.append(site.name)
+                    continue
+                robust.stale_summaries += 1
+                robust.recovered += exc.pending
+                stale.append(site.name)
+                summary = cached
             if not summary_can_match(query, summary):
                 self.traffic.requests_avoided += 1
                 continue
-            matches = site.store.find_where(query)
-            self.traffic.requests += 1
-            matched_bytes = DESCRIPTOR_WIRE_BYTES * len(matches)
-            self.traffic.descriptor_bytes += matched_bytes
-            self.traffic.simulated_ms += site.network.transfer_ms(
-                matched_bytes)
+
+            def fetch(attempt: int,
+                      site: Site = site) -> list[DataDescriptor]:
+                matches = site.store.find_where(query)
+                self.traffic.requests += 1
+                matched_bytes = DESCRIPTOR_WIRE_BYTES * len(matches)
+                self.traffic.descriptor_bytes += matched_bytes
+                self.traffic.simulated_ms += site.network.transfer_ms(
+                    matched_bytes)
+                return matches
+
+            try:
+                matches = self._remote_call(
+                    site, "find", (site.name, site.store.version), fetch)
+            except SiteUnavailable as exc:
+                self.traffic.robustness.recovered += exc.pending
+                unreachable.append(site.name)
+                continue
             for descriptor in matches:
                 self._record_route(descriptor.descriptor_id, site.name)
                 if descriptor.descriptor_id not in seen:
@@ -368,7 +670,12 @@ class FederatedStore:
                     results.append(descriptor)
                     self._descriptor_cache[descriptor.descriptor_id] = \
                         descriptor
-        return results
+        if unreachable:
+            self.traffic.robustness.partial_results += 1
+        return FindOutcome(results,
+                           partial=bool(unreachable or stale),
+                           unreachable_sites=tuple(unreachable),
+                           stale_sites=tuple(stale))
 
     def resolver(self):
         """A document resolver over the whole federation."""

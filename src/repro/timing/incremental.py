@@ -34,7 +34,7 @@ new revision, where the player, viewer and CLI pick it up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core import edit as core_edit
 from repro.core.document import CmifDocument
@@ -43,6 +43,7 @@ from repro.core.paths import resolve_path
 from repro.core.syncarc import SyncArc
 from repro.core.timebase import MediaTime
 from repro.core.errors import SchedulingConflict
+from repro.faults import RobustnessStats
 from repro.timing.constraints import (ConstraintDelta, ConstraintIndex,
                                       add_arc_delta, build_constraints,
                                       remove_arc_delta, retime_delta)
@@ -76,6 +77,9 @@ class EngineStats:
     adaptations_recompiled: int = 0
     navigations_patched: int = 0
     navigations_recompiled: int = 0
+    #: Degradation ledger: conflicting edits that left the pyramid
+    #: serving its last feasible revision land in ``degraded_edits``.
+    robustness: RobustnessStats = field(default_factory=RobustnessStats)
 
     def describe(self) -> str:
         base = (f"{self.edits} edit(s): {self.incremental_solves} "

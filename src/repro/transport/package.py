@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import base64
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.channels import Medium
 from repro.core.descriptors import DataBlock, DataDescriptor
@@ -37,6 +37,8 @@ from repro.core.errors import TransportError
 from repro.core.nodes import ExtNode, ImmNode, NodeKind
 from repro.core.paths import node_path
 from repro.core.tree import iter_preorder
+from repro.faults import (FaultPlan, RetryPolicy, RobustnessStats,
+                          corrupt_block, resolve_faults)
 from repro.format.json_io import value_from_obj, value_to_obj
 from repro.kernel._np import require_numpy
 from repro.format.parser import parse_document
@@ -57,6 +59,9 @@ class UnpackResult:
     store: DataStore
     embedded_blocks: int
     verified_checksums: int
+    #: Fault/recovery ledger of this unpack (corrupt deliveries caught
+    #: by checksum, re-request retries).  Empty when no fault plan ran.
+    robustness: RobustnessStats = field(default_factory=RobustnessStats)
 
 
 def pack(document: CmifDocument, store: DataStore | None = None, *,
@@ -212,8 +217,24 @@ def _block_from_obj(obj: dict,
                      payload=payload)
 
 
-def unpack(package_text: str, *, verify: bool = True) -> UnpackResult:
-    """Open a package: parse the document, rebuild a store, verify sums."""
+def unpack(package_text: str, *, verify: bool = True,
+           faults: "FaultPlan | str | None" = None,
+           retry: RetryPolicy | None = None) -> UnpackResult:
+    """Open a package: parse the document, rebuild a store, verify sums.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`, a spec string, or
+    the ``REPRO_FAULTS`` environment default) simulates deliveries that
+    corrupt embedded block payloads in flight; checksum verification is
+    what catches them, and each caught corruption re-requests the
+    package (rebuilding the blocks from the received text) up to the
+    ``retry`` policy's attempt budget.  A mismatch with *no* injected
+    corruption is the package itself being damaged — deterministic, so
+    it fails immediately, exactly as without a plan.
+    """
+    faults = resolve_faults(faults)
+    if retry is None:
+        retry = RetryPolicy()
+    robustness = RobustnessStats()
     try:
         payload = json.loads(package_text)
     except json.JSONDecodeError as exc:
@@ -227,17 +248,43 @@ def unpack(package_text: str, *, verify: bool = True) -> UnpackResult:
             f"unsupported package version {version!r}")
     document = parse_document(body["document"])
     store = DataStore(name="unpacked")
-    blocks = {block_id: _block_from_obj(obj, version)
-              for block_id, obj in (body.get("blocks") or {}).items()}
-    verified = 0
-    if verify:
-        for block_id, obj in (body.get("blocks") or {}).items():
-            actual = blocks[block_id].checksum()
-            if actual != obj["checksum"]:
-                raise TransportError(
-                    f"checksum mismatch for block {block_id!r}: the "
-                    f"package was corrupted in transport")
-            verified += 1
+    block_objs = body.get("blocks") or {}
+    attempt = 0
+    while True:
+        blocks = {block_id: _block_from_obj(obj, version)
+                  for block_id, obj in block_objs.items()}
+        injected = 0
+        if faults is not None and faults.package_corrupt_rate > 0:
+            for block_id in blocks:
+                if faults.fires(faults.package_corrupt_rate,
+                                "package-corrupt", block_id, attempt):
+                    robustness.record_fault("package-corrupt")
+                    blocks[block_id] = corrupt_block(blocks[block_id])
+                    injected += 1
+        verified = 0
+        mismatched: str | None = None
+        if verify:
+            for block_id, obj in block_objs.items():
+                actual = blocks[block_id].checksum()
+                if actual != obj["checksum"]:
+                    mismatched = block_id
+                    break
+                verified += 1
+        if mismatched is None:
+            # Undetected injected corruption (verify=False) reaches the
+            # caller — the ledger says so rather than hiding it.
+            robustness.unrecovered += injected
+            break
+        robustness.checksum_rejects += 1
+        attempt += 1
+        if injected == 0 or retry.gives_up(attempt, 0.0):
+            robustness.unrecovered += injected
+            raise TransportError(
+                f"checksum mismatch for block {mismatched!r}: the "
+                f"package was corrupted in transport")
+        # A fresh delivery masks every corruption of this attempt.
+        robustness.retries += 1
+        robustness.recovered += injected
     for file_id, obj in (body.get("descriptors") or {}).items():
         descriptor = _descriptor_from_obj(obj)
         block = blocks.get(descriptor.block_id) \
@@ -246,7 +293,8 @@ def unpack(package_text: str, *, verify: bool = True) -> UnpackResult:
         document.register_descriptor(file_id, descriptor)
     return UnpackResult(document=document, store=store,
                         embedded_blocks=len(blocks),
-                        verified_checksums=verified)
+                        verified_checksums=verified,
+                        robustness=robustness)
 
 
 def externals_to_immediates(document: CmifDocument,

@@ -226,3 +226,38 @@ class TestPlacementReport:
         schedule = schedule_document(document.compile())
         assert schedule.total_duration_ms > 0
         assert federation.traffic.payload_bytes == 0
+
+
+class TestResetSplit:
+    """traffic.reset() is counters-only; reset_traffic() is the cold
+    reset — the split the warm-path benchmarks rely on."""
+
+    def test_counter_reset_keeps_warm_caches(self, federation):
+        federation.descriptor("delft/story")
+        assert federation.traffic.requests == 1
+        federation.traffic.reset()
+        assert federation.traffic.requests == 0
+        federation.descriptor("delft/story")
+        # Served from the surviving descriptor cache: still free.
+        assert federation.traffic.requests == 0
+        assert federation.site_of("delft/story") == "delft"
+
+    def test_counter_reset_clears_robustness_ledger(self, federation):
+        federation.traffic.robustness.record_fault("site-outage")
+        federation.traffic.robustness.recovered += 1
+        federation.traffic.reset()
+        assert federation.traffic.robustness.empty
+
+    def test_reset_traffic_forgets_caches_by_default(self, federation):
+        federation.descriptor("delft/story")
+        federation.reset_traffic()
+        assert federation.traffic.requests == 0
+        federation.descriptor("delft/story")
+        # Cold again: the refetch pays a request.
+        assert federation.traffic.requests == 1
+
+    def test_reset_traffic_counters_only_mode(self, federation):
+        federation.descriptor("delft/story")
+        federation.reset_traffic(forget_caches=False)
+        federation.descriptor("delft/story")
+        assert federation.traffic.requests == 0
