@@ -242,6 +242,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     documents = [load_document(str(path)) for path in paths]
     environments = _parse_environments(args.environments)
+    if args.sites:
+        return _serve_placement(args, documents, environments)
     edit_script = (_load_edit_script(args.edit_script)
                    if args.edit_script else None)
     engine = SessionEngine(engine=args.engine, seed=args.seed,
@@ -258,6 +260,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.interactive and engine.last_queue is not None:
         print(f"  {engine.last_queue.stats().describe()}")
     return 0 if report.admitted else 1
+
+
+def _serve_placement(args: argparse.Namespace, documents,
+                     environments) -> int:
+    """The ``serve --sites N`` path: federated placement serving.
+
+    Authors the corpus across a simulated site topology, streams a
+    zipf-skewed session workload through the engine with per-session
+    origin affinity, and (optionally) replans placement between
+    batches.  Placement never changes what sessions play — only where
+    their bytes come from — so the per-session rows are identical
+    under every ``--placement`` policy.
+    """
+    from repro.corpus.workload import (WorkloadSpec, build_workload,
+                                       serve_workload)
+    from repro.serving import SessionEngine
+    spec = WorkloadSpec(sites=args.sites, topology=args.topology,
+                        documents=len(documents), events=args.events,
+                        sessions=args.placement_sessions,
+                        zipf_s=args.zipf, locality=args.locality,
+                        seed=args.seed)
+    workload = build_workload(spec, documents=documents,
+                              faults=args.faults)
+    engine = SessionEngine(engine=args.engine, seed=args.seed,
+                           kernel=args.kernel,
+                           federation=workload.federation)
+    reports = serve_workload(workload, environments,
+                             policy=args.placement,
+                             rebalance_every=args.rebalance_every,
+                             replays=args.replays, engine=engine)
+    counters = workload.federation.traffic.counters()
+    admitted = sum("UNPLAYABLE" not in line
+                   for report in reports
+                   for line in report.sessions_served)
+    total = sum(len(report.sessions_served) for report in reports)
+    print(f"placement: policy={args.placement} "
+          f"topology={args.topology} sites={args.sites} "
+          f"sessions={total} admitted={admitted}")
+    print(f"  remote={counters['requests']} "
+          f"local={counters['local_requests']} "
+          f"bytes={counters['total_bytes']} "
+          f"simulated_ms={counters['simulated_ms']:.1f} "
+          f"moves={counters['placement_moves']}")
+    if args.placement_report:
+        print(workload.federation.placement_report().describe())
+    return 0 if admitted else 1
 
 
 def cmd_edit(args: argparse.Namespace) -> int:
@@ -584,6 +632,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "sessions run (each: op fields plus "
                             "optional at_step / document index); "
                             "forces a serial drive")
+    serve.add_argument("--sites", type=int, default=0, metavar="N",
+                       help="author the corpus across N federated "
+                            "storage sites and serve a zipf-skewed "
+                            "session workload with origin affinity "
+                            "(default 0: no federation)")
+    serve.add_argument("--topology", choices=("star", "chain", "mesh"),
+                       default="star",
+                       help="site link topology (with --sites)")
+    serve.add_argument("--placement",
+                       choices=("static", "replicate-hot",
+                                "migrate-owner", "hybrid"),
+                       default="static",
+                       help="placement policy replanned every "
+                            "--rebalance-every sessions (with --sites); "
+                            "session reports are identical under every "
+                            "policy — only the traffic bill changes")
+    serve.add_argument("--placement-sessions", type=int, default=200,
+                       metavar="N",
+                       help="sessions in the placement workload's "
+                            "request stream (with --sites, default 200)")
+    serve.add_argument("--zipf", type=float, default=1.2, metavar="S",
+                       help="zipf exponent for document popularity "
+                            "(with --sites, default 1.2)")
+    serve.add_argument("--locality", type=float, default=0.75,
+                       metavar="P",
+                       help="probability a session originates at its "
+                            "document's favourite site (with --sites, "
+                            "default 0.75)")
+    serve.add_argument("--rebalance-every", type=int, default=50,
+                       metavar="N",
+                       help="placement epoch: replan after every N "
+                            "sessions (with --sites, default 50)")
+    serve.add_argument("--placement-report", action="store_true",
+                       help="print per-site byte footprints and the "
+                            "replica histogram after serving "
+                            "(with --sites)")
     serve.set_defaults(handler=cmd_serve)
 
     edit_cmd = commands.add_parser(

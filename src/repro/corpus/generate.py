@@ -253,6 +253,40 @@ def _media_descriptor(rng: random.Random, descriptor_id: str,
                           block_id=None, attributes=attributes)
 
 
+def make_payload_block(descriptor: DataDescriptor, *,
+                       seed: int = 0) -> "DataBlock":
+    """A deterministic synthetic payload block for a media descriptor.
+
+    The placement workload needs real payload *bytes* behind the
+    corpus descriptors (the generator leaves ``block_id`` None — media
+    documents schedule on attributes alone).  Sizes derive from the
+    descriptor's own demand attributes — a video clip's stream
+    bandwidth times its duration, an image's memory footprint — capped
+    so a federation of thousands of blocks stays in memory, and the
+    payload text is seeded by descriptor id, so two generations of the
+    same corpus are bit-identical.
+    """
+    from repro.core.descriptors import DataBlock
+
+    attributes = descriptor.attributes
+    duration = attributes.get("duration")
+    duration_ms = float(getattr(duration, "value", 0.0) or 0.0)
+    resources = attributes.get("resources") or {}
+    bandwidth = resources.get("bandwidth-bps", 0)
+    memory = resources.get("memory-bytes", 0)
+    if bandwidth:
+        size = int(bandwidth / 8.0 * duration_ms / 1000.0)
+    elif memory:
+        size = int(memory // 16)
+    else:
+        size = int(attributes.get("characters", 512))
+    size = max(1024, min(size, 262144))
+    stamp = f"{descriptor.descriptor_id}:{seed}:"
+    payload = (stamp * (size // len(stamp) + 1))[:size]
+    return DataBlock(f"{descriptor.descriptor_id}#blk",
+                     descriptor.medium, payload=payload)
+
+
 def make_media_document(seed: int, *, events: int = 24,
                         rich: bool | None = None,
                         links: int = 0) -> CmifDocument:

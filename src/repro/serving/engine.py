@@ -157,6 +157,10 @@ class ServingReport:
     edit_records: list[EditRecord] = field(default_factory=list)
     #: This run's fault/recovery ledger (a delta, like the env rows).
     robustness: RobustnessStats = field(default_factory=RobustnessStats)
+    #: This run's federation traffic delta (when the engine serves
+    #: through a federation): the counter dict of
+    #: :meth:`~repro.store.distributed.TrafficStats.counters`.
+    traffic: dict = field(default_factory=dict)
 
     @property
     def sessions(self) -> int:
@@ -213,6 +217,13 @@ class ServingReport:
         if not self.robustness.empty:
             lines.extend(f"  {line}" for line
                          in self.robustness.describe().splitlines())
+        if self.traffic:
+            lines.append(
+                f"  federation: {self.traffic['requests']} remote / "
+                f"{self.traffic['local_requests']} local request(s), "
+                f"{self.traffic['total_bytes']} B moved, "
+                f"{self.traffic['simulated_ms']:.1f} simulated ms, "
+                f"{self.traffic['placement_moves']} placement move(s)")
         return "\n".join(lines)
 
 
@@ -279,7 +290,8 @@ class SessionEngine:
                  schedule_capacity: int = 128,
                  program_capacity: int = 512,
                  kernel=None,
-                 faults: FaultPlan | str | None = None) -> None:
+                 faults: FaultPlan | str | None = None,
+                 federation=None) -> None:
         if engine not in SCHEDULE_ENGINES:
             raise ValueError_(f"unknown schedule engine {engine!r}; "
                               f"expected one of {SCHEDULE_ENGINES}")
@@ -312,6 +324,14 @@ class SessionEngine:
         #: id(document) -> (document, live editor); pinning the
         #: document keeps id() reuse impossible.
         self._editors: dict[int, tuple[CmifDocument, LiveEditor]] = {}
+        #: Optional :class:`~repro.store.distributed.FederatedStore`
+        #: the engine streams content through.  Admission installs a
+        #: per-session streamer that pulls the document's payloads from
+        #: the session origin's pinned replica set (session affinity);
+        #: placement may change the traffic bill, never the reports.
+        self.federation = federation
+        #: id(document) -> (document, stream ids) for federation pulls.
+        self._stream_ids: dict[int, tuple[CmifDocument, tuple]] = {}
 
     # -- shared-resource plumbing -----------------------------------------
 
@@ -413,13 +433,42 @@ class SessionEngine:
 
     # -- admission ----------------------------------------------------------
 
+    def _streamer_for(self, document: CmifDocument,
+                      origin: str | None, stream_ids):
+        """The content-pull closure a federation-backed session runs
+        per replay.  ``stream_ids`` overrides the document-derived id
+        set (the workload catalog's namespaced ids)."""
+        if stream_ids is None:
+            entry = self._stream_ids.get(id(document))
+            if entry is not None and entry[0] is document:
+                stream_ids = entry[1]
+            else:
+                stream_ids = self.federation.stream_ids_for(document)
+                self._stream_ids[id(document)] = (document, stream_ids)
+        federation = self.federation
+        ids = tuple(stream_ids)
+
+        def stream() -> int:
+            return federation.stream(ids, origin=origin)
+        return stream
+
     def admit(self, document: CmifDocument,
-              environment: SystemEnvironment) -> Session:
+              environment: SystemEnvironment, *,
+              origin: str | None = None,
+              stream_ids=None) -> Session:
         """Negotiate one session; adapt and compile when admissible.
 
         Always returns a :class:`Session` — rejected ones carry the
         negotiation result (``session.admitted`` is False) so callers
         can report *why* without exception plumbing on the hot path.
+
+        With a federation attached, ``origin`` names the site this
+        tenant reads from: every replay pulls the document's payloads
+        (``stream_ids`` when given, else the document's file references
+        plus its package payload) through the federation from the
+        origin's nearest replicas — the traffic the placement policies
+        optimize.  Streaming is accounting only; admission verdicts and
+        replay reports are identical with or without it.
         """
         stats = self.stats_for(environment)
         start = time.perf_counter()
@@ -464,6 +513,10 @@ class SessionEngine:
         session.schedule = schedule
         session.program = program
         session.player = self._player_for(schedule, program, environment)
+        if self.federation is not None:
+            session.origin = origin
+            session.streamer = self._streamer_for(document, origin,
+                                                  stream_ids)
         if negotiation.verdict == PLAYABLE:
             stats.playable += 1
         else:
@@ -474,7 +527,9 @@ class SessionEngine:
     def admit_interactive(self, document: CmifDocument,
                           environment: SystemEnvironment, *,
                           trace=None, follows: int = 2,
-                          rate: float = 1.0) -> InteractiveSession:
+                          rate: float = 1.0,
+                          origin: str | None = None,
+                          stream_ids=None) -> InteractiveSession:
         """Admit one interactive reader with a scripted choice trace.
 
         On top of :meth:`admit`, the document's compiled navigation
@@ -487,7 +542,8 @@ class SessionEngine:
         own seed (``follows`` jumps at most).  Rejected sessions come
         back DONE and never enter the rotation.
         """
-        session = self.admit(document, environment)
+        session = self.admit(document, environment, origin=origin,
+                             stream_ids=stream_ids)
         if not session.admitted:
             return InteractiveSession(session, None, ())
         stats = self.stats_for(environment)
@@ -557,8 +613,12 @@ class SessionEngine:
             elif item.admitted:
                 tasks.append(BatchTask(item, replays, rate=rate,
                                        seek_to_ms=seek_to_ms))
+        # Federation-backed sessions carry live streamer closures whose
+        # traffic must land on the one shared TrafficStats — forked
+        # shards would each mutate a private copy and lose it, so those
+        # drives stay serial (the replay inner loop is unaffected).
         if workers > 1 and choices is None and edits is None \
-                and len(tasks) > 1:
+                and self.federation is None and len(tasks) > 1:
             performed = self._drive_parallel(tasks, workers)
             if performed is not None:
                 self.last_queue = None
@@ -675,7 +735,8 @@ class SessionEngine:
               rate: float = 1.0, seek_to_ms: float = 0.0,
               interactive_per_pair: int = 0, follows: int = 2,
               workers: int = 1,
-              edit_script=None) -> ServingReport:
+              edit_script=None, origins=None,
+              stream_catalog=None) -> ServingReport:
         """Admit and drive a whole corpus against environment profiles.
 
         ``documents`` is an iterable of :class:`CmifDocument`;
@@ -697,6 +758,15 @@ class SessionEngine:
         0-based index of the target document, default 0); delta-lowered
         outcomes land on the report's ``edit_records``.  Edited serves
         run serial — the edits mutate shared program state.
+
+        With a federation attached, ``origins`` assigns each opened
+        session a reading site: a sequence is cycled in session-opening
+        order, a callable is invoked as ``origins(document_index,
+        environment_name, serial)``.  ``stream_catalog`` maps document
+        index -> federation stream ids (the workload catalog, for
+        corpora whose descriptor ids are namespaced in the federation).
+        The report's ``traffic`` carries this run's federation counter
+        deltas.
         """
         if sessions_per_pair < 1:
             raise ValueError_("sessions_per_pair must be at least 1, "
@@ -709,16 +779,41 @@ class SessionEngine:
         before = {name: stats.snapshot()
                   for name, stats in self.stats.items()}
         robustness_before = self.robustness.snapshot()
+        traffic_before = (self.federation.traffic.counters()
+                          if self.federation is not None else None)
         wall_start = time.perf_counter()
+        serial = 0
+
+        def origin_for(document_index: int, environment_name: str):
+            nonlocal serial
+            value = None
+            if origins is not None:
+                if callable(origins):
+                    value = origins(document_index, environment_name,
+                                    serial)
+                else:
+                    value = origins[serial % len(origins)]
+            serial += 1
+            return value
+
         sessions: list = []
-        for document in documents:
+        for document_index, document in enumerate(documents):
+            stream_ids = (stream_catalog.get(document_index)
+                          if stream_catalog is not None else None)
             for environment in environments:
                 for _ in range(sessions_per_pair):
-                    sessions.append(self.admit(document, environment))
+                    sessions.append(self.admit(
+                        document, environment,
+                        origin=origin_for(document_index,
+                                          environment.name),
+                        stream_ids=stream_ids))
                 for _ in range(interactive_per_pair):
                     sessions.append(self.admit_interactive(
                         document, environment, follows=follows,
-                        rate=rate))
+                        rate=rate,
+                        origin=origin_for(document_index,
+                                          environment.name),
+                        stream_ids=stream_ids))
         edit_records: list[EditRecord] = []
         edits = None
         if edit_script:
@@ -741,6 +836,11 @@ class SessionEngine:
                        before.get(environment.name))
                    for environment in environments
                    if environment.name in self.stats]
+        traffic: dict = {}
+        if traffic_before is not None:
+            after = self.federation.traffic.counters()
+            traffic = {key: after[key] - traffic_before[key]
+                       for key in after}
         return ServingReport(
             environments=ordered,
             documents=len(documents),
@@ -749,7 +849,8 @@ class SessionEngine:
             program_cache=self.program_cache,
             requirements_cache=self.requirements_cache,
             edit_records=edit_records,
-            robustness=self.robustness.delta_since(robustness_before))
+            robustness=self.robustness.delta_since(robustness_before),
+            traffic=traffic)
 
     def describe(self) -> str:
         lines = [f"session engine: {self.session_count} session(s) "

@@ -70,6 +70,17 @@ class Session:
     #: Lazily built reference-solved schedule for degraded replays.
     _degraded_schedule: Schedule | None = field(default=None, repr=False,
                                                 compare=False)
+    #: Site this tenant reads from (session affinity); None = no
+    #: federation attached.
+    origin: str | None = None
+    #: Zero-arg content-pull hook installed at admission when the
+    #: engine has a federation: every replay streams the document's
+    #: payloads from the origin's pinned replica set.  Pure traffic
+    #: accounting — reports never depend on it.
+    streamer: "object | None" = field(default=None, repr=False,
+                                      compare=False)
+    #: Payload bytes the federation delivered to this session.
+    bytes_streamed: int = 0
 
     @property
     def verdict(self) -> str:
@@ -105,6 +116,8 @@ class Session:
                 f"session {self.session_id} was not admitted "
                 f"({self.verdict} on {self.environment.name}); it cannot "
                 f"play")
+        if self.streamer is not None:
+            self.bytes_streamed += self.streamer()
         plan = self.faults
         if plan is not None and plan.fires(
                 plan.replay_failure_rate, "replay",

@@ -14,6 +14,12 @@ from repro.store.distributed import (DESCRIPTOR_WIRE_BYTES, FederatedStore,
                                      FindOutcome, NetworkModel, Site,
                                      SiteUnavailable, TrafficStats,
                                      summary_can_match, summary_wire_bytes)
+from repro.store.placement import (PLACEMENT_POLICIES, HotSetTracker,
+                                   HybridPolicy, MigrateOwnerPolicy,
+                                   PlacementMove, PlacementOutcome,
+                                   PlacementPolicy, PlacementReport,
+                                   ReplicateHotPolicy, ReplicationPlan,
+                                   SiteTopology, resolve_policy)
 from repro.store.planner import IndexStep, Plan, build_plan, execute_plan
 from repro.store.query import (Always, And, Contains, DurationBetween, Eq,
                                MatchesAttr, MediumIs, Not, Or, Query, Range,
@@ -22,11 +28,15 @@ from repro.store.query import (Always, And, Contains, DurationBetween, Eq,
                                keyword, medium_is, run)
 
 __all__ = [
-    "DESCRIPTOR_WIRE_BYTES", "Always", "And", "Contains", "DataStore",
-    "DurationBetween", "Eq", "FederatedStore", "FindOutcome", "IndexStep",
-    "MatchesAttr", "MediumIs", "NetworkModel", "Not", "Or", "Plan",
-    "Query", "Range", "Site", "SiteUnavailable", "StoreStats",
-    "StoreSummary", "TrafficStats", "always",
+    "DESCRIPTOR_WIRE_BYTES", "PLACEMENT_POLICIES", "Always", "And",
+    "Contains", "DataStore", "DurationBetween", "Eq", "FederatedStore",
+    "FindOutcome", "HotSetTracker", "HybridPolicy", "IndexStep",
+    "MatchesAttr", "MediumIs", "MigrateOwnerPolicy", "NetworkModel",
+    "Not", "Or", "Plan", "PlacementMove", "PlacementOutcome",
+    "PlacementPolicy", "PlacementReport", "Query", "Range",
+    "ReplicateHotPolicy", "ReplicationPlan", "Site", "SiteTopology",
+    "SiteUnavailable", "StoreStats", "StoreSummary", "TrafficStats",
+    "always", "resolve_policy",
     "attr_contains", "attr_eq", "attr_range", "build_plan",
     "criteria_query", "duration_between", "execute_plan", "iter_leaves",
     "keyword", "medium_is", "run", "summary_can_match",

@@ -150,9 +150,15 @@ class TrafficStats:
 
     requests: int = 0
     requests_avoided: int = 0
+    #: Reads served from the requesting origin's own store (free).
+    local_requests: int = 0
     descriptor_bytes: int = 0
     payload_bytes: int = 0
     summary_bytes: int = 0
+    #: Placement-plan traffic (descriptor + payload copies/migrations).
+    placement_moves: int = 0
+    placement_bytes: int = 0
+    placement_ms: float = 0.0
     simulated_ms: float = 0.0
     #: Fault/recovery ledger for the federation's remote operations.
     robustness: RobustnessStats = field(default_factory=RobustnessStats)
@@ -170,17 +176,38 @@ class TrafficStats:
         """
         self.requests = 0
         self.requests_avoided = 0
+        self.local_requests = 0
         self.descriptor_bytes = 0
         self.payload_bytes = 0
         self.summary_bytes = 0
+        self.placement_moves = 0
+        self.placement_bytes = 0
+        self.placement_ms = 0.0
         self.simulated_ms = 0.0
         self.robustness = RobustnessStats()
 
     @property
     def total_bytes(self) -> int:
-        """All bytes moved: descriptors, payloads and summaries."""
+        """All bytes moved: descriptors, payloads, summaries and
+        placement transfers."""
         return self.descriptor_bytes + self.payload_bytes \
-            + self.summary_bytes
+            + self.summary_bytes + self.placement_bytes
+
+    def counters(self) -> dict:
+        """A plain snapshot of the scalar counters (report plumbing)."""
+        return {
+            "requests": self.requests,
+            "requests_avoided": self.requests_avoided,
+            "local_requests": self.local_requests,
+            "descriptor_bytes": self.descriptor_bytes,
+            "payload_bytes": self.payload_bytes,
+            "summary_bytes": self.summary_bytes,
+            "placement_moves": self.placement_moves,
+            "placement_bytes": self.placement_bytes,
+            "placement_ms": self.placement_ms,
+            "total_bytes": self.total_bytes,
+            "simulated_ms": self.simulated_ms,
+        }
 
 
 @dataclass
@@ -256,7 +283,8 @@ class FederatedStore:
     def __init__(self, local: Site, remotes: list[Site], *,
                  cache_payloads: bool = False,
                  faults: FaultPlan | str | None = None,
-                 retry: RetryPolicy | None = None) -> None:
+                 retry: RetryPolicy | None = None,
+                 topology=None, tracker=None) -> None:
         names = [local.name] + [site.name for site in remotes]
         if len(set(names)) != len(names):
             raise StoreError(f"duplicate site names in federation: {names}")
@@ -264,6 +292,17 @@ class FederatedStore:
         self.remotes = list(remotes)
         self.cache_payloads = cache_payloads
         self.traffic = TrafficStats()
+        #: Optional :class:`~repro.store.placement.SiteTopology`.  When
+        #: set, reads that carry an ``origin=`` are priced by the
+        #: origin→holder link and served from the cheapest replica;
+        #: without it every call keeps the pre-placement behaviour.
+        self.topology = topology
+        if topology is not None and tracker is None:
+            from repro.store.placement import HotSetTracker
+            tracker = HotSetTracker()
+        #: Optional :class:`~repro.store.placement.HotSetTracker` fed by
+        #: every origin-tagged read (the placement policies' input).
+        self.hot_tracker = tracker
         # Faults are explicit-only here (no REPRO_FAULTS default): the
         # federation's tests and benches assert exact traffic counts,
         # and the chaos matrix exercises it through the higher layers.
@@ -278,6 +317,11 @@ class FederatedStore:
             site.name: site for site in [local, *remotes]}
         #: last summary seen per remote site (refreshed by version).
         self._summaries: dict[str, StoreSummary] = {}
+        #: cached summary wire size per site: (version, bytes).
+        self._summary_sizes: dict[str, tuple[int, int]] = {}
+        #: affinity pins: descriptor id -> {origin -> serving site}.
+        #: Invalidated when a placement plan moves the id.
+        self._affinity: dict[str, dict[str, str]] = {}
 
     def reset_traffic(self, *, forget_caches: bool = True) -> None:
         """Reset traffic counters and, by default, the warm state too.
@@ -294,6 +338,10 @@ class FederatedStore:
             self._descriptor_cache.clear()
             self._routes.clear()
             self._summaries.clear()
+            self._summary_sizes.clear()
+            self._affinity.clear()
+            if self.hot_tracker is not None:
+                self.hot_tracker.reset()
 
     # -- guarded remote operations -----------------------------------------
 
@@ -307,7 +355,8 @@ class FederatedStore:
         return breaker
 
     def _remote_call(self, site: Site, kind: str, key: object, fetch,
-                     *, rate: float = 0.0):
+                     *, rate: float = 0.0,
+                     network: NetworkModel | None = None):
         """Run one remote operation under the fault plan's weather.
 
         ``fetch(attempt)`` performs the actual operation and pays its
@@ -329,6 +378,7 @@ class FederatedStore:
         policy = self.retry
         robust = self.traffic.robustness
         breaker = self._breaker(site.name)
+        network = network if network is not None else site.network
         elapsed_ms = 0.0
         attempt = 0
         while True:
@@ -368,8 +418,8 @@ class FederatedStore:
             # latency; a corrupt delivery already paid its transfer.
             if not fetch_paid:
                 self.traffic.requests += 1
-                self.traffic.simulated_ms += site.network.latency_ms
-            elapsed_ms += site.network.latency_ms
+                self.traffic.simulated_ms += network.latency_ms
+            elapsed_ms += network.latency_ms
             if breaker.record_failure(tick):
                 robust.breaker_opens += 1
             attempt += 1
@@ -392,6 +442,37 @@ class FederatedStore:
         """How many remote descriptors are currently cached locally."""
         return len(self._descriptor_cache)
 
+    def site(self, name: str) -> Site:
+        """The named site, local or remote."""
+        try:
+            return self._sites_by_name[name]
+        except KeyError:
+            raise StoreError(
+                f"no site named {name!r} in the federation") from None
+
+    def holders(self, descriptor_id: str) -> list[str]:
+        """Names of every site physically holding a descriptor."""
+        return [site.name for site in self._sites_by_name.values()
+                if descriptor_id in site.store]
+
+    def _effective_origin(self, origin: str | None) -> str | None:
+        """Origin-aware routing needs a topology; without one the
+        origin tag is ignored and behaviour is pre-placement."""
+        if origin is None or self.topology is None:
+            return None
+        return origin
+
+    def _link(self, origin: str | None, site: Site) -> NetworkModel:
+        """The network a read from ``origin`` pays to reach ``site``."""
+        if origin is None or self.topology is None:
+            return site.network
+        return self.topology.link(origin, site.name)
+
+    def _track(self, origin: str | None, descriptor_id: str,
+               payload_bytes: int) -> None:
+        if origin is not None and self.hot_tracker is not None:
+            self.hot_tracker.record(origin, descriptor_id, payload_bytes)
+
     def _record_route(self, descriptor_id: str, site_name: str) -> None:
         self._routes[descriptor_id] = site_name
 
@@ -406,7 +487,19 @@ class FederatedStore:
             return None
         return site
 
-    def _summary_for(self, site: Site) -> StoreSummary:
+    def _summary_size(self, site: Site, summary: StoreSummary) -> int:
+        """The summary's wire size, cached per (site, version) — the
+        size walk over every keyword/medium/attribute entry runs once
+        per version, not once per refresh."""
+        cached = self._summary_sizes.get(site.name)
+        if cached is not None and cached[0] == summary.version:
+            return cached[1]
+        size = summary_wire_bytes(summary)
+        self._summary_sizes[site.name] = (summary.version, size)
+        return size
+
+    def _summary_for(self, site: Site,
+                     origin: str | None = None) -> StoreSummary:
         """The site's summary, refreshed (and paid for) when stale.
 
         Coherence is modelled as *push-invalidation*: sites are assumed
@@ -418,34 +511,70 @@ class FederatedStore:
         cached = self._summaries.get(site.name)
         if cached is not None and cached.version == site.store.version:
             return cached
+        network = self._link(origin, site)
 
         def fetch(attempt: int) -> StoreSummary:
             summary = site.summary()
-            size = summary_wire_bytes(summary)
+            size = self._summary_size(site, summary)
             self.traffic.requests += 1
             self.traffic.summary_bytes += size
-            self.traffic.simulated_ms += site.network.transfer_ms(size)
+            self.traffic.simulated_ms += network.transfer_ms(size)
             return summary
 
         rate = 0.0 if self.faults is None \
             else self.faults.summary_failure_rate
         summary = self._remote_call(
             site, "summary", (site.name, site.store.version), fetch,
-            rate=rate)
+            rate=rate, network=network)
         self._summaries[site.name] = summary
         return summary
 
     # -- descriptor path ---------------------------------------------------
 
-    def _holding_sites(self, descriptor_id: str) -> list[Site]:
-        """Candidate sites for an id: the routed one first, then every
-        other remote replica that holds it (failover order)."""
-        routed = self._routed_site(descriptor_id)
-        candidates = [] if routed is None else [routed]
-        for site in self.remotes:
-            if site is not routed and descriptor_id in site.store:
-                candidates.append(site)
-        return candidates
+    #: Nominal transfer size used to rank replica links (blends the
+    #: per-request latency with the per-byte cost of a typical payload).
+    RANK_TRANSFER_BYTES = 65536
+
+    def _holding_sites(self, descriptor_id: str,
+                       origin: str | None = None) -> list[Site]:
+        """Candidate sites for an id in failover order.
+
+        Without an origin: the routed site first, then every other
+        remote replica (pre-placement behaviour).  With an origin and a
+        topology: every holding site — local included — ordered by the
+        origin's link cost; an affinity pin recorded for (origin, id)
+        keeps reads on the chosen replica until a placement plan (or a
+        vanished copy) invalidates it.
+        """
+        if origin is None or self.topology is None:
+            routed = self._routed_site(descriptor_id)
+            candidates = [] if routed is None else [routed]
+            for site in self.remotes:
+                if site is not routed and descriptor_id in site.store:
+                    candidates.append(site)
+            return candidates
+        holding = [site for site in self._sites_by_name.values()
+                   if descriptor_id in site.store]
+        holding.sort(key=lambda site: (
+            self._rank_cost(origin, site.name), site.name))
+        pins = self._affinity.get(descriptor_id)
+        pinned = None if pins is None else pins.get(origin)
+        if pinned is not None:
+            pinned_site = self._sites_by_name.get(pinned)
+            if pinned_site is None or descriptor_id not in \
+                    pinned_site.store:
+                pins.pop(origin, None)          # stale pin: copy gone
+            else:
+                holding.sort(key=lambda site: site.name != pinned)
+                return holding
+        if holding:
+            self._affinity.setdefault(descriptor_id, {})[origin] = \
+                holding[0].name
+        return holding
+
+    def _rank_cost(self, origin: str, site_name: str) -> float:
+        link = self.topology.link(origin, site_name)
+        return link.transfer_ms(self.RANK_TRANSFER_BYTES)
 
     def _classify_failover(self, pending: int, failed: list[str]) -> None:
         """A replica answered after ``failed`` sites did not: the
@@ -456,31 +585,47 @@ class FederatedStore:
         robust.failovers += 1
         robust.recovered += pending
 
-    def descriptor(self, descriptor_id: str) -> DataDescriptor:
+    def descriptor(self, descriptor_id: str, *,
+                   origin: str | None = None) -> DataDescriptor:
         """Resolve a descriptor: local, cache, route, then probing.
 
         Under an active fault plan an unavailable site fails over to
         any other replica holding the id; only when every holder is
-        unavailable does the lookup fail.
+        unavailable does the lookup fail.  With a topology attached and
+        an ``origin`` site given, the read is priced from that origin
+        and served by its cheapest replica (free when the origin's own
+        store holds the id) — results are identical either way.
         """
-        if descriptor_id in self.local.store:
-            return self.local.store.descriptor(descriptor_id)
+        origin = self._effective_origin(origin)
+        if origin is None:
+            if descriptor_id in self.local.store:
+                return self.local.store.descriptor(descriptor_id)
+        else:
+            self._track(origin, descriptor_id, DESCRIPTOR_WIRE_BYTES)
+            home = self._sites_by_name.get(origin)
+            if home is not None and descriptor_id in home.store:
+                self.traffic.local_requests += 1
+                return home.store.descriptor(descriptor_id)
         cached = self._descriptor_cache.get(descriptor_id)
         if cached is not None:
             return cached
         pending = 0
         failed: list[str] = []
-        for site in self._holding_sites(descriptor_id):
-            def fetch(attempt: int, site: Site = site) -> DataDescriptor:
+        for site in self._holding_sites(descriptor_id, origin):
+            network = self._link(origin, site)
+
+            def fetch(attempt: int, site: Site = site,
+                      network: NetworkModel = network) -> DataDescriptor:
                 self.traffic.requests += 1
                 self.traffic.descriptor_bytes += DESCRIPTOR_WIRE_BYTES
-                self.traffic.simulated_ms += site.network.transfer_ms(
+                self.traffic.simulated_ms += network.transfer_ms(
                     DESCRIPTOR_WIRE_BYTES)
                 return site.store.descriptor(descriptor_id)
 
             try:
                 descriptor = self._remote_call(
-                    site, "descriptor", descriptor_id, fetch)
+                    site, "descriptor", descriptor_id, fetch,
+                    network=network)
             except SiteUnavailable as exc:
                 pending += exc.pending
                 failed.append(site.name)
@@ -519,26 +664,42 @@ class FederatedStore:
 
     # -- payload path ----------------------------------------------------------
 
-    def block_for(self, descriptor_id: str) -> DataBlock:
+    def block_for(self, descriptor_id: str, *,
+                  origin: str | None = None) -> DataBlock:
         """Fetch a payload block, paying transfer cost when remote.
 
         Under an active fault plan a delivery may be transiently failed
         (``block_failure_rate``) or corrupted in flight
         (``block_corrupt_rate``) — corruption is detected by checksum
         and the fetch retried; an unavailable site fails over to any
-        other replica holding the id.
+        other replica holding the id.  With a topology attached and an
+        ``origin`` site given, transfer is priced over the origin's
+        cheapest link and a replica at the origin serves for free —
+        the block returned is identical either way.
         """
-        if descriptor_id in self.local.store:
-            return self.local.store.block_for(descriptor_id)
+        origin = self._effective_origin(origin)
+        if origin is None:
+            if descriptor_id in self.local.store:
+                return self.local.store.block_for(descriptor_id)
+        else:
+            home = self._sites_by_name.get(origin)
+            if home is not None and descriptor_id in home.store:
+                block = home.store.block_for(descriptor_id)
+                self.traffic.local_requests += 1
+                self._track(origin, descriptor_id, block.size_bytes)
+                return block
         pending = 0
         failed: list[str] = []
-        for site in self._holding_sites(descriptor_id):
-            def fetch(attempt: int, site: Site = site) -> DataBlock:
+        for site in self._holding_sites(descriptor_id, origin):
+            network = self._link(origin, site)
+
+            def fetch(attempt: int, site: Site = site,
+                      network: NetworkModel = network) -> DataBlock:
                 block = site.store.block_for(descriptor_id)
                 size = block.size_bytes
                 self.traffic.requests += 1
                 self.traffic.payload_bytes += size
-                self.traffic.simulated_ms += site.network.transfer_ms(size)
+                self.traffic.simulated_ms += network.transfer_ms(size)
                 plan = self.faults
                 if plan is not None and plan.fires(
                         plan.block_corrupt_rate, "block-corrupt",
@@ -559,14 +720,17 @@ class FederatedStore:
                 else self.faults.block_failure_rate
             try:
                 block = self._remote_call(site, "block", descriptor_id,
-                                          fetch, rate=rate)
+                                          fetch, rate=rate,
+                                          network=network)
             except SiteUnavailable as exc:
                 pending += exc.pending
                 failed.append(site.name)
                 continue
             self._classify_failover(pending, failed)
             self._record_route(descriptor_id, site.name)
-            if self.cache_payloads:
+            if origin is not None:
+                self._track(origin, descriptor_id, block.size_bytes)
+            if self.cache_payloads and origin is None:
                 descriptor = site.store.descriptor(descriptor_id)
                 if descriptor_id not in self.local.store:
                     self.local.store.register(
@@ -596,16 +760,18 @@ class FederatedStore:
         only); criteria semantics match :meth:`DataStore.find`."""
         return self.find_where(criteria_query(criteria))
 
-    def find_where(self, query: Query) -> list[DataDescriptor]:
+    def find_where(self, query: Query, *,
+                   origin: str | None = None) -> list[DataDescriptor]:
         """Planned attribute search; see :meth:`find_where_detailed`.
 
         Under an active fault plan the result may silently be partial —
         callers that need to know use :meth:`find_where_detailed`,
         whose :class:`FindOutcome` marks incompleteness explicitly.
         """
-        return self.find_where_detailed(query).descriptors
+        return self.find_where_detailed(query, origin=origin).descriptors
 
-    def find_where_detailed(self, query: Query) -> FindOutcome:
+    def find_where_detailed(self, query: Query, *,
+                            origin: str | None = None) -> FindOutcome:
         """Planned attribute search across every site that can match.
 
         The local site answers through its own planner for free; each
@@ -621,14 +787,29 @@ class FederatedStore:
         site: recent additions may be missed), and a site that cannot
         be reached at all is skipped (*unreachable*).  Either case
         marks the outcome ``partial``.
+
+        With a topology attached and an ``origin`` given, the origin's
+        own site answers for free and every other site is priced over
+        the origin's link.  Results are returned in descriptor-id
+        order, so *what* a search returns never depends on placement —
+        only the traffic bill does.
         """
-        results = list(self.local.store.find_where(query))
+        origin = self._effective_origin(origin)
+        if origin is None:
+            home = self.local
+            fanout = list(self.remotes)
+        else:
+            home = self._sites_by_name.get(origin, self.local)
+            fanout = [site for site in self._sites_by_name.values()
+                      if site is not home]
+            self.traffic.local_requests += 1
+        results = list(home.store.find_where(query))
         seen = {descriptor.descriptor_id for descriptor in results}
         unreachable: list[str] = []
         stale: list[str] = []
-        for site in self.remotes:
+        for site in fanout:
             try:
-                summary = self._summary_for(site)
+                summary = self._summary_for(site, origin)
             except SiteUnavailable as exc:
                 robust = self.traffic.robustness
                 cached = self._summaries.get(site.name)
@@ -646,19 +827,23 @@ class FederatedStore:
                 self.traffic.requests_avoided += 1
                 continue
 
-            def fetch(attempt: int,
-                      site: Site = site) -> list[DataDescriptor]:
+            network = self._link(origin, site)
+
+            def fetch(attempt: int, site: Site = site,
+                      network: NetworkModel = network
+                      ) -> list[DataDescriptor]:
                 matches = site.store.find_where(query)
                 self.traffic.requests += 1
                 matched_bytes = DESCRIPTOR_WIRE_BYTES * len(matches)
                 self.traffic.descriptor_bytes += matched_bytes
-                self.traffic.simulated_ms += site.network.transfer_ms(
+                self.traffic.simulated_ms += network.transfer_ms(
                     matched_bytes)
                 return matches
 
             try:
                 matches = self._remote_call(
-                    site, "find", (site.name, site.store.version), fetch)
+                    site, "find", (site.name, site.store.version), fetch,
+                    network=network)
             except SiteUnavailable as exc:
                 self.traffic.robustness.recovered += exc.pending
                 unreachable.append(site.name)
@@ -672,6 +857,7 @@ class FederatedStore:
                         descriptor
         if unreachable:
             self.traffic.robustness.partial_results += 1
+        results.sort(key=lambda descriptor: descriptor.descriptor_id)
         return FindOutcome(results,
                            partial=bool(unreachable or stale),
                            unreachable_sites=tuple(unreachable),
@@ -686,15 +872,161 @@ class FederatedStore:
                 return None
         return resolve
 
+    # -- placement ---------------------------------------------------------
+
+    def _invalidate_placement(self, descriptor_id: str) -> None:
+        """Drop every cached route for an id a plan just moved: the
+        stale ``_routed_site`` / affinity pins must not keep serving
+        from the old owner."""
+        self._routes.pop(descriptor_id, None)
+        self._descriptor_cache.pop(descriptor_id, None)
+        self._affinity.pop(descriptor_id, None)
+
+    def apply_placement(self, plan):
+        """Execute a :class:`~repro.store.placement.ReplicationPlan`.
+
+        Each move copies the descriptor (and its payload block, when it
+        has one) from source to target, unregistering the source copy
+        on a migration.  The transfer is charged to the placement
+        counters *and* to ``simulated_ms`` — a plan has to pay for its
+        own moves, so the bench's ≥3× gate already nets them out.
+        Placement transfers are control-plane traffic: they run outside
+        the fault plan's weather (a real rebalancer retries in the
+        background at leisure).
+        """
+        from repro.store.placement import PlacementOutcome
+        applied = skipped = 0
+        bytes_moved = 0
+        cost_ms = 0.0
+        done: list = []
+        for move in plan.moves:
+            source = self._sites_by_name.get(move.source)
+            target = self._sites_by_name.get(move.target)
+            if (source is None or target is None
+                    or move.descriptor_id not in source.store
+                    or move.descriptor_id in target.store):
+                skipped += 1
+                continue
+            descriptor = source.store.descriptor(move.descriptor_id)
+            block = None
+            size = DESCRIPTOR_WIRE_BYTES
+            if descriptor.block_id is not None:
+                block = source.store.block_for(move.descriptor_id)
+                size += block.size_bytes
+            target.store.register(
+                DataDescriptor(
+                    descriptor_id=descriptor.descriptor_id,
+                    medium=descriptor.medium,
+                    block_id=descriptor.block_id,
+                    attributes=dict(descriptor.attributes)),
+                block)
+            if move.action == "migrate":
+                source.store.unregister(move.descriptor_id)
+            link = (self.topology.link(move.target, move.source)
+                    if self.topology is not None else source.network)
+            applied += 1
+            bytes_moved += size
+            cost_ms += link.transfer_ms(size)
+            self._invalidate_placement(move.descriptor_id)
+            done.append(move)
+        self.traffic.placement_moves += applied
+        self.traffic.placement_bytes += bytes_moved
+        self.traffic.placement_ms += cost_ms
+        self.traffic.simulated_ms += cost_ms
+        return PlacementOutcome(applied=applied, skipped=skipped,
+                                bytes_moved=bytes_moved,
+                                simulated_ms=cost_ms,
+                                moves=tuple(done))
+
+    def rebalance(self, policy):
+        """Plan with ``policy`` and apply in one step; returns
+        ``(plan, outcome)``."""
+        from repro.store.placement import resolve_policy
+        plan = resolve_policy(policy).plan(self)
+        return plan, self.apply_placement(plan)
+
+    # -- streaming ---------------------------------------------------------
+
+    def stream_ids_for(self, document) -> tuple[str, ...]:
+        """Every federation id a presentation of ``document`` pulls:
+        its EXT file references plus, by the ``<name>/package``
+        convention, the document's packed program payload."""
+        styles = document.styles_or_none()
+        from repro.core.nodes import NodeKind
+        from repro.core.tree import iter_preorder
+        ids: list[str] = []
+        seen: set[str] = set()
+        package_id = f"{document.root.name}/package"
+        if self.holders(package_id):
+            ids.append(package_id)
+            seen.add(package_id)
+        for node in iter_preorder(document.root):
+            if node.kind is not NodeKind.EXT:
+                continue
+            file_id = node.effective("file", styles=styles)
+            if file_id is not None and file_id not in seen:
+                seen.add(file_id)
+                ids.append(file_id)
+        return tuple(ids)
+
+    def stream(self, stream_ids, *, origin: str | None = None) -> int:
+        """Pull every listed payload toward ``origin`` — one session's
+        content traffic.  Ids nobody holds, and ids whose every replica
+        is unavailable under the fault plan, are skipped (the serving
+        layer degrades; this accounting must not abort the session).
+        Returns the number of payload bytes delivered.
+        """
+        delivered = 0
+        for descriptor_id in stream_ids:
+            try:
+                descriptor = self.descriptor(descriptor_id,
+                                             origin=origin)
+                if descriptor.block_id is not None:
+                    delivered += self.block_for(
+                        descriptor_id, origin=origin).size_bytes
+            except StoreError:
+                continue
+        return delivered
+
+    def stream_document(self, document, *,
+                        origin: str | None = None) -> int:
+        """:meth:`stream` over :meth:`stream_ids_for`."""
+        return self.stream(self.stream_ids_for(document), origin=origin)
+
     # -- placement analysis ---------------------------------------------------------
 
-    def placement_report(self, document) -> dict[str, list[str]]:
-        """Which site serves each of a document's file references.
+    def placement_report(self, document=None):
+        """Where data physically lives, with byte footprints.
 
         The paper: "management of the location of data in a
         transportable document" — this is the map a placement optimizer
-        would consume.
+        would consume.  With a ``document``, each of its EXT file
+        references is attributed to the site that serves it
+        (``<missing>`` when nobody does); without one the whole
+        federation is reported.  Either way every site entry carries
+        its descriptor count and payload byte footprint, and the report
+        includes a replication-factor histogram.
         """
+        from repro.store.placement import (PlacementReport,
+                                           PlacementSiteReport)
+        report = PlacementReport()
+        if document is None:
+            counted: dict[str, int] = {}
+            for site in self._sites_by_name.values():
+                store = site.store
+                report.sites[site.name] = PlacementSiteReport(
+                    site=site.name,
+                    descriptor_count=len(store),
+                    payload_bytes=store.total_payload_bytes(),
+                    file_ids=tuple(sorted(
+                        d.descriptor_id for d in store.descriptors())))
+                for descriptor in store.descriptors():
+                    counted[descriptor.descriptor_id] = \
+                        counted.get(descriptor.descriptor_id, 0) + 1
+            for factor in counted.values():
+                report.replica_histogram[factor] = \
+                    report.replica_histogram.get(factor, 0) + 1
+            return report
         placement: dict[str, list[str]] = {}
         styles = document.styles_or_none()
         from repro.core.nodes import NodeKind
@@ -710,6 +1042,23 @@ class FederatedStore:
             except StoreError:
                 site = "<missing>"
             placement.setdefault(site, []).append(file_id)
-        for file_ids in placement.values():
+            copies = len(self.holders(file_id))
+            if copies:
+                report.replica_histogram[copies] = \
+                    report.replica_histogram.get(copies, 0) + 1
+        for site_name, file_ids in placement.items():
             file_ids.sort()
-        return placement
+            payload = 0
+            site = self._sites_by_name.get(site_name)
+            if site is not None:
+                for file_id in file_ids:
+                    descriptor = site.store.descriptor(file_id)
+                    if descriptor.block_id is not None:
+                        payload += site.store.block_for(
+                            file_id).size_bytes
+            report.sites[site_name] = PlacementSiteReport(
+                site=site_name,
+                descriptor_count=len(file_ids),
+                payload_bytes=payload,
+                file_ids=tuple(file_ids))
+        return report

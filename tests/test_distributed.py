@@ -205,8 +205,11 @@ class TestPlacementReport:
         document = builder.build(validate=False)
 
         placement = federation.placement_report(document)
-        assert placement["there"] == ["there/clip"]
-        assert placement["<missing>"] == ["lost/clip"]
+        assert placement["there"] == ("there/clip",)
+        assert placement["<missing>"] == ("lost/clip",)
+        assert placement.sites["there"].descriptor_count == 1
+        assert placement.sites["there"].payload_bytes > 0
+        assert placement.replica_histogram == {1: 1}
 
     def test_document_schedules_through_federation(self):
         """A document whose media live on a remote site schedules via
